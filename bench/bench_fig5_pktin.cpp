@@ -1,0 +1,96 @@
+// Reproduces Fig. 5: performance of handling PACKET_IN requests.
+//  (a) latency vs number of switches in [4, 34]
+//  (b) throughput vs number of switches, non-parallel and parallel
+//  (c) latency vs f in {1..4}
+//  (d) throughput vs f
+// Setup: Internet2 topology (16 controllers / 34 switches), f = 1 unless
+// swept; each round every active switch issues one table-miss PKT-IN.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "curb/core/simulation.hpp"
+
+namespace {
+
+using curb::bench::paper_options;
+using curb::core::CurbOptions;
+using curb::core::CurbSimulation;
+using curb::core::RoundMetrics;
+
+constexpr int kWarmupRounds = 1;
+constexpr int kRounds = 5;
+
+struct Sample {
+  double latency_ms = 0.0;
+  double latency_err = 0.0;
+  double tps = 0.0;
+};
+
+Sample measure(CurbSimulation& sim, std::size_t active_switches,
+               std::size_t requests_per_switch = 1) {
+  sim.set_active_switches(active_switches);
+  for (int i = 0; i < kWarmupRounds; ++i) {
+    (void)sim.run_packet_in_round(requests_per_switch);
+  }
+  curb::sim::Summary latency;
+  curb::sim::Summary tps;
+  for (int i = 0; i < kRounds; ++i) {
+    const RoundMetrics m = sim.run_packet_in_round(requests_per_switch);
+    if (m.accepted == 0) continue;
+    latency.add(m.mean_latency_ms);
+    tps.add(m.throughput_tps);
+  }
+  return {latency.mean(), latency.stddev(), tps.mean()};
+}
+
+}  // namespace
+
+int main() {
+  curb::bench::print_header("PACKET_IN handling vs number of switches",
+                            "Fig. 5(a) latency, Fig. 5(b) throughput");
+  curb::bench::print_row_header(
+      {"switches", "lat_ms", "lat_err", "tps_parallel", "tps_nonparallel"});
+  for (const std::size_t switches : {4u, 10u, 16u, 22u, 28u, 34u}) {
+    CurbOptions parallel = paper_options();
+    CurbSimulation sim_p{parallel};
+    const Sample p = measure(sim_p, switches);
+    // Throughput comparison under sustained load (3 requests per switch
+    // per round) where pipelining matters.
+    const Sample p_tp = measure(sim_p, switches, 3);
+
+    CurbOptions serial = paper_options();
+    serial.parallel = false;
+    CurbSimulation sim_s{serial};
+    const Sample s_tp = measure(sim_s, switches, 3);
+
+    curb::bench::print_cell(static_cast<double>(switches));
+    curb::bench::print_cell(p.latency_ms);
+    curb::bench::print_cell(p.latency_err);
+    curb::bench::print_cell(p_tp.tps);
+    curb::bench::print_cell(s_tp.tps);
+    curb::bench::end_row();
+  }
+
+  curb::bench::print_header("PACKET_IN handling vs fault tolerance f",
+                            "Fig. 5(c) latency, Fig. 5(d) throughput");
+  curb::bench::print_row_header({"f", "group_size", "lat_ms", "lat_err", "tps"});
+  for (const std::size_t f : {1u, 2u, 3u, 4u}) {
+    CurbOptions opts = paper_options();
+    opts.f = f;
+    // Larger groups need more controller headroom (paper: "the larger the
+    // f, the more controllers are required"); relax capacity/delay limits
+    // so 3f+1-sized groups exist on the 16-controller Internet2.
+    opts.controller_capacity = 40.0;
+    opts.max_cs_delay_ms = curb::opt::CapInstance::kNoLimit;
+    CurbSimulation sim{opts};
+    const Sample sample = measure(sim, 34, 3);
+    curb::bench::print_cell(static_cast<double>(f));
+    curb::bench::print_cell(static_cast<double>(3 * f + 1));
+    curb::bench::print_cell(sample.latency_ms);
+    curb::bench::print_cell(sample.latency_err);
+    curb::bench::print_cell(sample.tps);
+    curb::bench::end_row();
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Edge-computing scenario from the paper's introduction: a burst of IoT
+// traffic hits the edge network and every switch needs flow rules at once.
+// Demonstrates:
+//   - sustained multi-round load handled by parallel controller groups,
+//   - throughput scaling as more edge sites come online,
+//   - the blockchain as an audit log for every installed rule.
+
+#include <cstdio>
+
+#include "curb/core/simulation.hpp"
+
+int main() {
+  using namespace curb;
+
+  core::CurbOptions options;
+  options.f = 1;
+  options.max_cs_delay_ms = 14.0;
+  options.controller_capacity = 12;
+  core::CurbSimulation sim{options};
+
+  std::printf("IoT burst on Internet2: activating edge sites in waves\n\n");
+  std::printf("%-12s%-12s%-14s%-12s\n", "sites", "requests", "latency_ms", "tps");
+
+  // Waves: more and more edge sites (switches) join the burst. Each site
+  // fires 2 flow setups per round.
+  for (const std::size_t sites : {8u, 16u, 24u, 34u}) {
+    sim.set_active_switches(sites);
+    const core::RoundMetrics m = sim.run_packet_in_round(/*requests_per_switch=*/2);
+    std::printf("%-12zu%-12zu%-14.1f%-12.1f\n", sites, m.accepted, m.mean_latency_ms,
+                m.throughput_tps);
+  }
+
+  // Audit: every flow rule that was installed is on the replicated chain,
+  // so any edge operator can verify who configured what, and when.
+  const auto& chain = sim.network().controller(0).blockchain();
+  std::size_t flow_updates = 0;
+  for (std::uint64_t h = 1; h <= chain.height(); ++h) {
+    for (const auto& tx : chain.at(h).transactions()) {
+      if (tx.type() == chain::RequestType::kPacketIn) ++flow_updates;
+    }
+  }
+  std::printf("\naudit: %zu flow updates recorded across %llu blocks; ", flow_updates,
+              static_cast<unsigned long long>(chain.height()));
+  std::printf("all %zu controllers agree: %s\n", sim.network().num_controllers(),
+              sim.chains_consistent() ? "yes" : "NO");
+
+  // End-to-end check: the data plane actually delivered the IoT packets.
+  std::size_t delivered = 0;
+  for (std::uint32_t sw = 0; sw < sim.network().num_switches(); ++sw) {
+    delivered += sim.network().switch_node(sw).delivered_packets().size();
+  }
+  std::printf("data plane: %zu packets delivered end-to-end\n", delivered);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Northbound API scenario: a security application pushes firewall policies
+// into the Curb control plane. Policy updates go through the same
+// consensus + blockchain pipeline as flow rules, so no single compromised
+// controller can sneak a policy in or suppress one — and every policy
+// decision is auditable on-chain.
+
+#include <cstdio>
+
+#include "curb/core/simulation.hpp"
+
+int main() {
+  using namespace curb;
+
+  core::CurbOptions options;
+  options.f = 1;
+  options.max_cs_delay_ms = 14.0;
+  options.controller_capacity = 12;
+  core::CurbSimulation sim{options};
+  auto& net = sim.network();
+
+  auto settle = [&] {
+    net.simulator().run_until(net.simulator().now() + sim::SimTime::seconds(3));
+  };
+  auto try_flow = [&](std::uint32_t src, std::uint32_t dst) {
+    const std::size_t before = net.switch_node(dst).delivered_packets().size();
+    net.switch_node(src).reset_flow_table();
+    net.switch_node(src).host_send(dst);
+    settle();
+    return net.switch_node(dst).delivered_packets().size() > before;
+  };
+
+  std::printf("1. baseline: host 2 -> host 9 ... %s\n",
+              try_flow(2, 9) ? "delivered" : "BLOCKED");
+
+  // The security app quarantines host 2 (deny everything it sends) via the
+  // northbound API of controller 5.
+  std::printf("2. app submits quarantine policy for host 2 via ctl-5\n");
+  net.controller(5).submit_policy(
+      {2, sdn::PolicyRule::kAny, sdn::PolicyRule::Action::kDeny, 50});
+  settle();
+
+  std::printf("3. host 2 -> host 9 ... %s\n", try_flow(2, 9) ? "delivered" : "BLOCKED");
+  std::printf("   host 2 -> host 7 ... %s\n", try_flow(2, 7) ? "delivered" : "BLOCKED");
+  std::printf("   host 4 -> host 9 ... %s (others unaffected)\n",
+              try_flow(4, 9) ? "delivered" : "BLOCKED");
+
+  // A higher-priority carve-out: host 2 may still reach the monitoring
+  // host 0.
+  std::printf("4. app adds carve-out: host 2 -> host 0 allowed (priority 60)\n");
+  net.controller(5).submit_policy({2, 0, sdn::PolicyRule::Action::kAllow, 60});
+  settle();
+  std::printf("   host 2 -> host 0 ... %s\n", try_flow(2, 0) ? "delivered" : "BLOCKED");
+
+  // Audit trail: every policy decision is a blockchain transaction.
+  const auto& chain = net.controller(0).blockchain();
+  std::printf("\naudit: policy transactions on the chain:\n");
+  for (std::uint64_t h = 1; h <= chain.height(); ++h) {
+    for (const auto& tx : chain.at(h).transactions()) {
+      if (tx.type() != chain::RequestType::kPolicyUpdate) continue;
+      std::printf("  block %llu: policy update (tx %s...)\n",
+                  static_cast<unsigned long long>(h), crypto::short_hex(tx.id()).c_str());
+    }
+  }
+  std::printf("all %zu controllers hold the same policy table: ",
+              net.num_controllers());
+  bool same = true;
+  for (std::uint32_t c = 1; c < net.num_controllers(); ++c) {
+    same &= net.controller(c).policy_table() == net.controller(0).policy_table();
+  }
+  std::printf("%s\n", same ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,24 @@
+#include "curb/bft/consensus.hpp"
+
+#include "curb/bft/hotstuff.hpp"
+#include "curb/bft/replica.hpp"
+
+namespace curb::bft {
+
+std::unique_ptr<ConsensusReplica> make_replica(ConsensusEngine engine,
+                                               const ReplicaConfig& config,
+                                               sim::Simulator& sim,
+                                               ConsensusReplica::SendFn send,
+                                               ConsensusReplica::DeliverFn deliver) {
+  switch (engine) {
+    case ConsensusEngine::kPbft:
+      return std::make_unique<PbftReplica>(config, sim, std::move(send),
+                                           std::move(deliver));
+    case ConsensusEngine::kHotstuff:
+      return std::make_unique<HotstuffReplica>(config, sim, std::move(send),
+                                               std::move(deliver));
+  }
+  throw std::invalid_argument{"make_replica: unknown engine"};
+}
+
+}  // namespace curb::bft

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "curb/bft/message.hpp"
+#include "curb/sim/simulator.hpp"
+#include "curb/sim/time.hpp"
+
+namespace curb::bft {
+
+/// Byzantine behaviour injected into a replica (paper Section IV-A):
+///  - kHonest: follows the protocol.
+///  - kSilent: sends nothing (crashed or withholding — the paper's
+///    experiment 1/2 byzantine nodes that "do not respond within timeout").
+///  - kLazy: delays every outgoing message by a configured amount (the
+///    paper's experiment 3 nodes with response times in (200, 500) ms).
+///  - kEquivocate: as leader, proposes conflicting payloads to different
+///    peers; as follower, votes for a corrupted digest.
+enum class Behavior : std::uint8_t { kHonest, kSilent, kLazy, kEquivocate };
+
+/// Which BFT engine a consensus instance runs. The paper uses PBFT ("other
+/// BFT protocols including Tendermint and HotStuff can also be applied");
+/// this library ships both an all-to-all PBFT and a leader-aggregated
+/// HotStuff-style engine with linear per-round communication.
+enum class ConsensusEngine : std::uint8_t { kPbft, kHotstuff };
+
+[[nodiscard]] constexpr std::string_view to_string(ConsensusEngine e) {
+  switch (e) {
+    case ConsensusEngine::kPbft: return "pbft";
+    case ConsensusEngine::kHotstuff: return "hotstuff";
+  }
+  return "?";
+}
+
+/// Shared configuration for any replica engine.
+struct ReplicaConfig {
+  std::uint32_t replica_index = 0;
+  std::size_t group_size = 4;  // n = 3f + 1
+  /// Commit timeout before initiating a view change.
+  sim::SimTime view_change_timeout = sim::SimTime::millis(500);
+  Behavior behavior = Behavior::kHonest;
+  /// Extra delay applied to every outgoing message when behavior == kLazy.
+  sim::SimTime lazy_delay = sim::SimTime::millis(300);
+  /// Starting view; leader of view v is replica v % group_size. Curb uses
+  /// this to seat the OP-designated group leader at startup.
+  std::uint64_t initial_view = 0;
+  /// Executed slots older than this many sequences behind the execution
+  /// frontier are garbage-collected (checkpoint-lite; keeps long-running
+  /// replicas bounded). 0 disables collection.
+  std::uint64_t gc_window = 64;
+};
+
+/// Engine-agnostic replica interface. Transport-agnostic: messages leave
+/// through a send callback and arrive through on_message(); committed
+/// payloads are delivered strictly in sequence order.
+class ConsensusReplica {
+ public:
+  /// Send `msg` to replica `dest` (index within the group).
+  using SendFn = std::function<void(std::uint32_t dest, const PbftMessage& msg)>;
+  /// A payload committed at `sequence` (called in sequence order).
+  using DeliverFn = std::function<void(std::uint64_t sequence,
+                                       const std::vector<std::uint8_t>& payload)>;
+  /// View changed to `new_view` (leader = new_view % group_size).
+  using ViewChangeFn = std::function<void(std::uint64_t new_view)>;
+
+  virtual ~ConsensusReplica() = default;
+
+  /// Leader entry point: assign the next sequence number and start
+  /// consensus. Throws std::logic_error when called on a non-leader.
+  virtual std::uint64_t propose(std::vector<std::uint8_t> payload) = 0;
+  /// Feed an incoming message from peer replicas.
+  virtual void on_message(const PbftMessage& msg) = 0;
+  /// Application-triggered view change (no-op while one is in flight).
+  virtual void force_view_change() = 0;
+
+  [[nodiscard]] virtual std::uint64_t view() const = 0;
+  [[nodiscard]] virtual std::uint32_t leader_index() const = 0;
+  [[nodiscard]] virtual bool is_leader() const = 0;
+  [[nodiscard]] virtual std::uint32_t index() const = 0;
+  /// Next sequence this replica expects to execute.
+  [[nodiscard]] virtual std::uint64_t next_execute() const = 0;
+
+  virtual void set_behavior(Behavior b) = 0;
+  [[nodiscard]] virtual Behavior behavior() const = 0;
+  virtual void set_on_view_change(ViewChangeFn fn) = 0;
+};
+
+/// Create a replica of the requested engine.
+[[nodiscard]] std::unique_ptr<ConsensusReplica> make_replica(
+    ConsensusEngine engine, const ReplicaConfig& config, sim::Simulator& sim,
+    ConsensusReplica::SendFn send, ConsensusReplica::DeliverFn deliver);
+
+}  // namespace curb::bft

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "curb/crypto/sha256.hpp"
+
+namespace curb::bft {
+
+/// PBFT protocol message. One struct covers all five message kinds; fields
+/// irrelevant to a kind stay empty. `payload` is an opaque serialized value
+/// (a Curb txList for Intra-PBFT, a serialized block for Final-PBFT).
+struct PbftMessage {
+  enum class Type : std::uint8_t {
+    // PBFT (all-to-all voting)
+    kPrePrepare,
+    kPrepare,
+    kCommit,
+    kViewChange,
+    kNewView,
+    // HotStuff-style (leader-aggregated voting, linear communication)
+    kProposal,
+    kVotePrepare,
+    kQcPrepare,
+    kVotePreCommit,
+    kQcPreCommit,
+    kVoteCommit,
+    kQcCommit,
+  };
+
+  Type type = Type::kPrePrepare;
+  std::uint64_t view = 0;
+  std::uint64_t sequence = 0;
+  crypto::Hash256 digest{};
+  std::uint32_t sender = 0;
+  /// Present on kPrePrepare/kProposal and inside view-change/new-view
+  /// prepared-entry lists.
+  std::vector<std::uint8_t> payload;
+  /// Quorum certificate carried by kQc* messages: the replicas whose votes
+  /// the leader aggregated (a simulation stand-in for threshold signatures).
+  std::vector<std::uint32_t> qc_voters;
+
+  /// View-change: prepared-but-unexecuted requests carried to the new view.
+  struct PreparedEntry {
+    std::uint64_t sequence = 0;
+    crypto::Hash256 digest{};
+    std::vector<std::uint8_t> payload;
+
+    bool operator==(const PreparedEntry&) const = default;
+  };
+  std::vector<PreparedEntry> prepared;
+
+  bool operator==(const PbftMessage&) const = default;
+
+  /// Approximate wire size in bytes, used for transmission-delay modelling.
+  [[nodiscard]] std::size_t wire_size() const {
+    std::size_t size = 1 + 8 + 8 + 32 + 4 + 4 + payload.size() + 4 * qc_voters.size();
+    for (const auto& e : prepared) size += 8 + 32 + 4 + e.payload.size();
+    return size;
+  }
+};
+
+[[nodiscard]] constexpr std::string_view to_string(PbftMessage::Type t) {
+  switch (t) {
+    case PbftMessage::Type::kPrePrepare: return "PRE-PREPARE";
+    case PbftMessage::Type::kPrepare: return "PREPARE";
+    case PbftMessage::Type::kCommit: return "COMMIT";
+    case PbftMessage::Type::kViewChange: return "VIEW-CHANGE";
+    case PbftMessage::Type::kNewView: return "NEW-VIEW";
+    case PbftMessage::Type::kProposal: return "PROPOSAL";
+    case PbftMessage::Type::kVotePrepare: return "VOTE-PREPARE";
+    case PbftMessage::Type::kQcPrepare: return "QC-PREPARE";
+    case PbftMessage::Type::kVotePreCommit: return "VOTE-PRECOMMIT";
+    case PbftMessage::Type::kQcPreCommit: return "QC-PRECOMMIT";
+    case PbftMessage::Type::kVoteCommit: return "VOTE-COMMIT";
+    case PbftMessage::Type::kQcCommit: return "QC-COMMIT";
+  }
+  return "?";
+}
+
+/// Digest helper for proposal payloads.
+[[nodiscard]] inline crypto::Hash256 payload_digest(const std::vector<std::uint8_t>& payload) {
+  return crypto::Sha256::digest(std::span<const std::uint8_t>{payload});
+}
+
+}  // namespace curb::bft

@@ -1,0 +1,61 @@
+#include "curb/chain/transaction.hpp"
+
+#include "curb/chain/serial.hpp"
+
+namespace curb::chain {
+
+std::vector<std::uint8_t> Transaction::signing_bytes() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type_));
+  w.u32(switch_id_);
+  w.u32(controller_id_);
+  w.u64(request_id_);
+  w.bytes(config_);
+  return w.take();
+}
+
+std::vector<std::uint8_t> Transaction::serialize() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type_));
+  w.u32(switch_id_);
+  w.u32(controller_id_);
+  w.u64(request_id_);
+  w.bytes(config_);
+  w.u8(signature_.has_value() ? 1 : 0);
+  if (signature_) w.fixed(signature_->to_bytes());
+  return w.take();
+}
+
+Transaction Transaction::deserialize(std::span<const std::uint8_t> bytes) {
+  ByteReader r{bytes};
+  Transaction tx;
+  const std::uint8_t raw_type = r.u8();
+  if (raw_type > static_cast<std::uint8_t>(RequestType::kPolicyUpdate)) {
+    throw std::invalid_argument{"Transaction: unknown request type"};
+  }
+  tx.type_ = static_cast<RequestType>(raw_type);
+  tx.switch_id_ = r.u32();
+  tx.controller_id_ = r.u32();
+  tx.request_id_ = r.u64();
+  tx.config_ = r.bytes();
+  if (r.u8() != 0) {
+    const auto sig_bytes = r.fixed<64>();
+    tx.signature_ = crypto::Signature::from_bytes(
+        std::span<const std::uint8_t, 64>{sig_bytes});
+  }
+  return tx;
+}
+
+crypto::Hash256 Transaction::id() const {
+  const auto bytes = signing_bytes();
+  return crypto::Sha256::digest(std::span<const std::uint8_t>{bytes});
+}
+
+void Transaction::sign(const crypto::KeyPair& key) { signature_ = key.sign(id()); }
+
+bool Transaction::verify(const crypto::PublicKey& key) const {
+  if (!signature_) return false;
+  return crypto::verify(key, id(), *signature_);
+}
+
+}  // namespace curb::chain

@@ -1,0 +1,233 @@
+#include "curb/core/assignment_state.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "curb/chain/serial.hpp"
+
+namespace curb::core {
+
+AssignmentState AssignmentState::build(const opt::Assignment& assignment, std::size_t f,
+                                       std::uint64_t epoch,
+                                       std::vector<std::uint32_t> byzantine,
+                                       const AssignmentState* previous) {
+  AssignmentState state;
+  state.assignment_ = assignment;
+  state.f_ = f;
+  state.epoch_ = epoch;
+  std::sort(byzantine.begin(), byzantine.end());
+  byzantine.erase(std::unique(byzantine.begin(), byzantine.end()), byzantine.end());
+  state.byzantine_ = std::move(byzantine);
+
+  // Distinct controller sets -> dense group ids, ordered by lowest switch.
+  const std::size_t num_switches = assignment.num_switches();
+  state.switch_to_group_.assign(num_switches, 0);
+  std::map<std::vector<std::uint32_t>, std::uint32_t> set_to_group;
+  for (std::uint32_t sw = 0; sw < num_switches; ++sw) {
+    std::vector<std::uint32_t> members;
+    for (const std::size_t c : assignment.group_of(sw)) {
+      members.push_back(static_cast<std::uint32_t>(c));
+    }
+    if (members.empty()) {
+      throw std::invalid_argument{"AssignmentState: switch with empty group"};
+    }
+    const auto it = set_to_group.find(members);
+    if (it != set_to_group.end()) {
+      state.switch_to_group_[sw] = it->second;
+      state.groups_[it->second].switches.push_back(sw);
+      continue;
+    }
+    const auto gid = static_cast<std::uint32_t>(state.groups_.size());
+    set_to_group.emplace(members, gid);
+    GroupInfo info;
+    info.id = gid;
+    info.members = std::move(members);
+    info.switches = {sw};
+    state.groups_.push_back(std::move(info));
+    state.switch_to_group_[sw] = gid;
+  }
+
+  // Leaders: keep the previous leader where it survived, else lowest id.
+  for (GroupInfo& g : state.groups_) {
+    g.leader = g.members.front();
+    if (previous != nullptr) {
+      // The previous leader of any switch now governed by g.
+      for (const std::uint32_t sw : g.switches) {
+        if (sw >= previous->switch_to_group_.size()) continue;
+        const GroupInfo& old_group = previous->group(previous->group_of_switch(sw));
+        if (std::find(g.members.begin(), g.members.end(), old_group.leader) !=
+            g.members.end()) {
+          g.leader = old_group.leader;
+          break;
+        }
+      }
+    }
+  }
+
+  // Final committee: one member from each of the first 3f+1 groups (by id),
+  // skipping duplicates, topped up from remaining controllers by id.
+  const std::size_t committee_size = 3 * f + 1;
+  std::vector<std::uint32_t> committee;
+  for (const GroupInfo& g : state.groups_) {
+    if (committee.size() >= committee_size) break;
+    for (const std::uint32_t member : g.members) {
+      if (std::find(committee.begin(), committee.end(), member) == committee.end()) {
+        committee.push_back(member);
+        break;
+      }
+    }
+  }
+  if (committee.size() < committee_size) {
+    const std::size_t num_controllers = assignment.num_controllers();
+    for (std::uint32_t c = 0; c < num_controllers && committee.size() < committee_size;
+         ++c) {
+      const bool is_byz = std::binary_search(state.byzantine_.begin(),
+                                             state.byzantine_.end(), c);
+      if (is_byz) continue;
+      if (std::find(committee.begin(), committee.end(), c) == committee.end()) {
+        committee.push_back(c);
+      }
+    }
+  }
+  if (committee.size() < committee_size) {
+    throw std::invalid_argument{"AssignmentState: not enough controllers for finalCom"};
+  }
+  std::sort(committee.begin(), committee.end());
+  state.final_committee_ = std::move(committee);
+  return state;
+}
+
+const GroupInfo& AssignmentState::group(std::uint32_t group_id) const {
+  if (group_id >= groups_.size()) throw std::out_of_range{"AssignmentState: bad group id"};
+  return groups_[group_id];
+}
+
+std::uint32_t AssignmentState::group_of_switch(std::uint32_t switch_id) const {
+  if (switch_id >= switch_to_group_.size()) {
+    throw std::out_of_range{"AssignmentState: bad switch id"};
+  }
+  return switch_to_group_[switch_id];
+}
+
+std::uint32_t AssignmentState::final_leader() const {
+  // Paper: the final committee leader has the highest ID in the committee.
+  return final_committee_.back();
+}
+
+std::uint32_t AssignmentState::instance_id_of(const std::vector<std::uint32_t>& members) {
+  // FNV-1a over the sorted member ids; 0xffffffff is reserved for the
+  // final-committee instance, so fold it away if it ever appears.
+  std::uint32_t h = 2166136261u;
+  for (const std::uint32_t m : members) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      h ^= (m >> shift) & 0xffu;
+      h *= 16777619u;
+    }
+  }
+  return h == 0xffffffffu ? 0xfffffffeu : h;
+}
+
+std::optional<std::uint32_t> AssignmentState::group_by_instance(
+    std::uint32_t instance_id) const {
+  for (const GroupInfo& g : groups_) {
+    if (instance_id_of(g.members) == instance_id) return g.id;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint32_t> AssignmentState::groups_of_controller(
+    std::uint32_t controller_id) const {
+  std::vector<std::uint32_t> out;
+  for (const GroupInfo& g : groups_) {
+    if (std::find(g.members.begin(), g.members.end(), controller_id) != g.members.end()) {
+      out.push_back(g.id);
+    }
+  }
+  return out;
+}
+
+bool AssignmentState::in_final_committee(std::uint32_t controller_id) const {
+  return std::binary_search(final_committee_.begin(), final_committee_.end(),
+                            controller_id);
+}
+
+std::optional<std::uint32_t> AssignmentState::replica_index(
+    std::uint32_t group_id, std::uint32_t controller_id) const {
+  const GroupInfo& g = group(group_id);
+  const auto it = std::find(g.members.begin(), g.members.end(), controller_id);
+  if (it == g.members.end()) return std::nullopt;
+  return static_cast<std::uint32_t>(it - g.members.begin());
+}
+
+std::optional<std::uint32_t> AssignmentState::final_replica_index(
+    std::uint32_t controller_id) const {
+  const auto it =
+      std::find(final_committee_.begin(), final_committee_.end(), controller_id);
+  if (it == final_committee_.end()) return std::nullopt;
+  return static_cast<std::uint32_t>(it - final_committee_.begin());
+}
+
+std::vector<std::uint8_t> AssignmentState::serialize() const {
+  chain::ByteWriter w;
+  w.u64(epoch_);
+  w.u32(static_cast<std::uint32_t>(f_));
+  w.u32(static_cast<std::uint32_t>(assignment_.num_switches()));
+  w.u32(static_cast<std::uint32_t>(assignment_.num_controllers()));
+  for (std::uint32_t sw = 0; sw < assignment_.num_switches(); ++sw) {
+    const GroupInfo& g = groups_[switch_to_group_[sw]];
+    w.u32(g.leader);
+    w.u32(static_cast<std::uint32_t>(g.members.size()));
+    for (const std::uint32_t m : g.members) w.u32(m);
+  }
+  w.u32(static_cast<std::uint32_t>(byzantine_.size()));
+  for (const std::uint32_t b : byzantine_) w.u32(b);
+  return w.take();
+}
+
+AssignmentState AssignmentState::deserialize(std::span<const std::uint8_t> bytes) {
+  chain::ByteReader r{bytes};
+  const std::uint64_t epoch = r.u64();
+  const std::size_t f = r.u32();
+  const std::uint32_t num_switches = r.u32();
+  const std::uint32_t num_controllers = r.u32();
+  // Sanity-bound the dimensions before allocating the assignment matrix:
+  // every switch needs at least a leader id and a member count (8 bytes),
+  // and a plausible encoding cannot name more controllers than it has
+  // bytes. Malformed (possibly hostile) input must not drive allocations.
+  if (num_switches > r.remaining() / 8 || num_controllers > r.remaining()) {
+    throw std::invalid_argument{"AssignmentState: implausible dimensions"};
+  }
+
+  opt::Assignment assignment{num_switches, num_controllers};
+  std::vector<std::uint32_t> leaders(num_switches, 0);
+  for (std::uint32_t sw = 0; sw < num_switches; ++sw) {
+    leaders[sw] = r.u32();
+    const std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint32_t member = r.u32();
+      if (member >= num_controllers) {
+        throw std::invalid_argument{"AssignmentState: member id out of range"};
+      }
+      assignment.set(sw, member, true);
+    }
+  }
+  const std::uint32_t byz_count = r.u32();
+  if (byz_count > r.remaining() / 4) {
+    throw std::invalid_argument{"AssignmentState: byzantine count too large"};
+  }
+  std::vector<std::uint32_t> byzantine(byz_count);
+  for (auto& b : byzantine) b = r.u32();
+
+  AssignmentState state = build(assignment, f, epoch, std::move(byzantine));
+  // Restore the serialized leaders (they may differ from lowest-id default).
+  for (std::uint32_t sw = 0; sw < num_switches; ++sw) {
+    GroupInfo& g = state.groups_[state.switch_to_group_[sw]];
+    if (std::find(g.members.begin(), g.members.end(), leaders[sw]) != g.members.end()) {
+      g.leader = leaders[sw];
+    }
+  }
+  return state;
+}
+
+}  // namespace curb::core

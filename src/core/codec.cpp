@@ -1,0 +1,65 @@
+#include "curb/core/codec.hpp"
+
+#include "curb/chain/serial.hpp"
+
+namespace curb::core {
+
+std::vector<std::uint8_t> serialize_tx_list(const std::vector<chain::Transaction>& txs) {
+  chain::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(txs.size()));
+  for (const auto& tx : txs) w.bytes(tx.serialize());
+  return w.take();
+}
+
+std::vector<chain::Transaction> deserialize_tx_list(std::span<const std::uint8_t> bytes) {
+  chain::ByteReader r{bytes};
+  const std::uint32_t count = r.u32();
+  // Each transaction costs at least its 4-byte length prefix; a count that
+  // exceeds the remaining input is malformed (and must not drive a huge
+  // allocation from attacker-controlled bytes).
+  if (count > r.remaining() / 4) throw std::invalid_argument{"tx list count too large"};
+  std::vector<chain::Transaction> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto tx_bytes = r.bytes();
+    out.push_back(chain::Transaction::deserialize(tx_bytes));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> serialize_packet(const sdn::Packet& p) {
+  chain::ByteWriter w;
+  w.u32(p.src_host);
+  w.u32(p.dst_host);
+  w.u64(p.id);
+  w.u32(p.size_bytes);
+  return w.take();
+}
+
+sdn::Packet deserialize_packet(std::span<const std::uint8_t> bytes) {
+  chain::ByteReader r{bytes};
+  sdn::Packet p;
+  p.src_host = r.u32();
+  p.dst_host = r.u32();
+  p.id = r.u64();
+  p.size_bytes = r.u32();
+  return p;
+}
+
+std::vector<std::uint8_t> serialize_id_list(const std::vector<std::uint32_t>& ids) {
+  chain::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(ids.size()));
+  for (const std::uint32_t id : ids) w.u32(id);
+  return w.take();
+}
+
+std::vector<std::uint32_t> deserialize_id_list(std::span<const std::uint8_t> bytes) {
+  chain::ByteReader r{bytes};
+  const std::uint32_t count = r.u32();
+  if (count > r.remaining() / 4) throw std::invalid_argument{"id list count too large"};
+  std::vector<std::uint32_t> out(count);
+  for (auto& id : out) id = r.u32();
+  return out;
+}
+
+}  // namespace curb::core

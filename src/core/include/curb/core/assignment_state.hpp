@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "curb/opt/cap.hpp"
+
+namespace curb::core {
+
+/// One controller group (a distinct ctrList shared by one or more switches).
+struct GroupInfo {
+  std::uint32_t id = 0;                  // dense ctrListID
+  std::vector<std::uint32_t> members;    // sorted controller ids
+  std::uint32_t leader = 0;              // the appointed leader (paper: one per group)
+  std::vector<std::uint32_t> switches;   // switches governed by this group
+
+  bool operator==(const GroupInfo&) const = default;
+};
+
+/// The control-plane view every honest node derives from an assignment:
+/// groups, per-switch group membership, leaders, the final committee, and
+/// the set of excluded byzantine controllers. Built deterministically so
+/// all nodes reach the identical view (the paper's "same finalCom selection
+/// rule" argument).
+class AssignmentState {
+ public:
+  AssignmentState() = default;
+
+  /// Derive groups from an assignment matrix. Distinct controller sets get
+  /// dense ids in order of their lowest governed switch. Leaders persist
+  /// from `previous` where still present, else the lowest member id.
+  /// The final committee takes one member from each of the first 3f+1
+  /// groups (sorted by id, skipping already-elected controllers), topped up
+  /// from the remaining controllers by ascending id when there are fewer
+  /// groups than seats; its leader is the member with the highest id.
+  [[nodiscard]] static AssignmentState build(const opt::Assignment& assignment,
+                                             std::size_t f, std::uint64_t epoch,
+                                             std::vector<std::uint32_t> byzantine = {},
+                                             const AssignmentState* previous = nullptr);
+
+  [[nodiscard]] const opt::Assignment& assignment() const { return assignment_; }
+  [[nodiscard]] const std::vector<GroupInfo>& groups() const { return groups_; }
+  [[nodiscard]] const GroupInfo& group(std::uint32_t group_id) const;
+  /// Group id governing a switch (a switch maps to exactly one group).
+  [[nodiscard]] std::uint32_t group_of_switch(std::uint32_t switch_id) const;
+  [[nodiscard]] const std::vector<std::uint32_t>& final_committee() const {
+    return final_committee_;
+  }
+  [[nodiscard]] std::uint32_t final_leader() const;
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] std::size_t f() const { return f_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& byzantine() const { return byzantine_; }
+
+  /// Stable consensus-instance id for a member set: groups keep their PBFT
+  /// instance across reassignments as long as their membership is
+  /// unchanged, even though dense group ids are renumbered per epoch.
+  /// Never returns PbftEnvelope::kFinalInstance (0xffffffff).
+  [[nodiscard]] static std::uint32_t instance_id_of(
+      const std::vector<std::uint32_t>& members);
+  [[nodiscard]] std::uint32_t instance_of_group(std::uint32_t group_id) const {
+    return instance_id_of(group(group_id).members);
+  }
+  /// Current group carrying a consensus-instance id, if any.
+  [[nodiscard]] std::optional<std::uint32_t> group_by_instance(
+      std::uint32_t instance_id) const;
+
+  /// Group ids a controller belongs to.
+  [[nodiscard]] std::vector<std::uint32_t> groups_of_controller(
+      std::uint32_t controller_id) const;
+  [[nodiscard]] bool in_final_committee(std::uint32_t controller_id) const;
+  /// Replica index of a controller within a group (position in sorted
+  /// member list), or nullopt if not a member.
+  [[nodiscard]] std::optional<std::uint32_t> replica_index(std::uint32_t group_id,
+                                                           std::uint32_t controller_id) const;
+  [[nodiscard]] std::optional<std::uint32_t> final_replica_index(
+      std::uint32_t controller_id) const;
+
+  /// Wire codec (this is the `config` payload of a RE-ASS transaction).
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static AssignmentState deserialize(std::span<const std::uint8_t> bytes);
+
+  bool operator==(const AssignmentState&) const = default;
+
+ private:
+  opt::Assignment assignment_;
+  std::vector<GroupInfo> groups_;
+  std::vector<std::uint32_t> switch_to_group_;
+  std::vector<std::uint32_t> final_committee_;  // sorted controller ids
+  std::vector<std::uint32_t> byzantine_;        // sorted controller ids
+  std::uint64_t epoch_ = 0;
+  std::size_t f_ = 1;
+};
+
+}  // namespace curb::core

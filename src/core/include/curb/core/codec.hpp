@@ -1,0 +1,27 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "curb/chain/transaction.hpp"
+#include "curb/sdn/flow.hpp"
+
+namespace curb::core {
+
+/// txList wire codec (the Intra-PBFT payload and AGREE body).
+[[nodiscard]] std::vector<std::uint8_t> serialize_tx_list(
+    const std::vector<chain::Transaction>& txs);
+[[nodiscard]] std::vector<chain::Transaction> deserialize_tx_list(
+    std::span<const std::uint8_t> bytes);
+
+/// PKT-IN request payload: the packet that missed the flow table.
+[[nodiscard]] std::vector<std::uint8_t> serialize_packet(const sdn::Packet& p);
+[[nodiscard]] sdn::Packet deserialize_packet(std::span<const std::uint8_t> bytes);
+
+/// RE-ASS request payload: the accused controller ids.
+[[nodiscard]] std::vector<std::uint8_t> serialize_id_list(
+    const std::vector<std::uint32_t>& ids);
+[[nodiscard]] std::vector<std::uint32_t> deserialize_id_list(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace curb::core

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "curb/core/assignment_state.hpp"
+#include "curb/core/controller.hpp"
+#include "curb/core/messages.hpp"
+#include "curb/core/options.hpp"
+#include "curb/core/switch_node.hpp"
+#include "curb/net/message_bus.hpp"
+#include "curb/net/topology.hpp"
+#include "curb/opt/cap.hpp"
+#include "curb/sdn/flow.hpp"
+#include "curb/sim/simulator.hpp"
+
+namespace curb::core {
+
+/// A complete Curb deployment: topology, message bus, controllers with
+/// blockchain replicas, switch sites, and the Step-0 initialization
+/// (key generation, OP() assignment, finalCom election, genesis block).
+class CurbNetwork {
+ public:
+  CurbNetwork(net::Topology topology, CurbOptions options);
+
+  /// Step 0. Throws std::runtime_error when the CAP instance is infeasible
+  /// (e.g. D_c,s too tight for the topology).
+  void initialize();
+  [[nodiscard]] bool initialized() const { return initialized_; }
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] net::MessageBus<CurbMessage>& bus() { return *bus_; }
+  [[nodiscard]] const net::Topology& topology() const { return topology_; }
+  [[nodiscard]] const CurbOptions& options() const { return options_; }
+
+  [[nodiscard]] std::size_t num_controllers() const { return controllers_.size(); }
+  [[nodiscard]] std::size_t num_switches() const { return switches_.size(); }
+  [[nodiscard]] Controller& controller(std::uint32_t id) { return *controllers_[id]; }
+  [[nodiscard]] const Controller& controller(std::uint32_t id) const {
+    return *controllers_[id];
+  }
+  [[nodiscard]] SwitchNode& switch_node(std::uint32_t id) { return *switches_[id]; }
+  [[nodiscard]] const SwitchNode& switch_node(std::uint32_t id) const {
+    return *switches_[id];
+  }
+  [[nodiscard]] net::NodeId controller_topo_node(std::uint32_t id) const;
+  [[nodiscard]] net::NodeId switch_topo_node(std::uint32_t id) const;
+
+  /// The assignment agreed at Step 0 (genesis).
+  [[nodiscard]] const AssignmentState& genesis_state() const { return genesis_state_; }
+  [[nodiscard]] const chain::Block& genesis_block() const { return *genesis_block_; }
+
+  /// One-way propagation delays (ms) over the topology's shortest paths.
+  [[nodiscard]] double cs_delay_ms(std::uint32_t switch_id, std::uint32_t controller_id) const;
+  [[nodiscard]] double cc_delay_ms(std::uint32_t c1, std::uint32_t c2) const;
+
+  /// CAP instance for the current topology and options with the given
+  /// byzantine exclusions and (optional) per-switch fixed leaders.
+  [[nodiscard]] opt::CapInstance build_cap_instance(
+      const std::vector<std::uint32_t>& byzantine,
+      const std::vector<std::optional<int>>& fixed_leaders = {}) const;
+
+  /// Solve OP() and deliver the result after the configured virtual compute
+  /// delay (measured wall time or fixed, per options.op_time_mode).
+  void solve_op_async(const opt::CapInstance& instance, opt::CapObjective objective,
+                      const opt::Assignment* previous,
+                      std::function<void(opt::CapResult)> done);
+
+  /// Destination-based flow entries answering a PKT-IN from `switch_id`.
+  /// Deterministic: every honest controller computes the same entries.
+  [[nodiscard]] std::vector<sdn::FlowEntry> compute_flow_entries(
+      std::uint32_t switch_id, const sdn::Packet& packet) const;
+
+ private:
+  net::Topology topology_;
+  CurbOptions options_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::MessageBus<CurbMessage>> bus_;
+
+  std::vector<net::NodeId> controller_nodes_;
+  std::vector<net::NodeId> switch_nodes_;
+  std::vector<std::unique_ptr<Controller>> controllers_;
+  std::vector<std::unique_ptr<SwitchNode>> switches_;
+
+  AssignmentState genesis_state_;
+  std::unique_ptr<chain::Block> genesis_block_;
+  bool initialized_ = false;
+
+};
+
+}  // namespace curb::core

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "curb/core/assignment_state.hpp"
+#include "curb/core/messages.hpp"
+#include "curb/core/options.hpp"
+#include "curb/net/topology.hpp"
+#include "curb/sdn/sagent.hpp"
+#include "curb/sdn/switch.hpp"
+#include "curb/sim/time.hpp"
+
+namespace curb::core {
+
+class CurbNetwork;
+
+/// A switch site: the data-plane Switch, its s-agent, and the glue between
+/// them and the Curb control plane (PKT-IN on table miss, FLOW_MOD +
+/// PACKET_OUT on accepted configs, ctrList updates on RE-ASS, byzantine
+/// reporting -> RE-ASS requests).
+class SwitchNode {
+ public:
+  SwitchNode(std::uint32_t switch_id, net::NodeId node, CurbNetwork& network);
+
+  SwitchNode(const SwitchNode&) = delete;
+  SwitchNode& operator=(const SwitchNode&) = delete;
+
+  /// Step 0: adopt the initial controller group.
+  void initialize(const AssignmentState& state);
+
+  void on_message(net::NodeId from, const CurbMessage& msg);
+
+  /// Host traffic entry point: the attached host emits a packet to the
+  /// host attached at `dst_switch_id`. A table miss triggers PKT-IN.
+  void host_send(std::uint32_t dst_switch_id, std::uint32_t size_bytes = 1500);
+
+  [[nodiscard]] std::uint32_t id() const { return switch_id_; }
+  [[nodiscard]] net::NodeId node() const { return node_; }
+  [[nodiscard]] sdn::Switch& dataplane() { return switch_; }
+  [[nodiscard]] const sdn::Switch& dataplane() const { return switch_; }
+  [[nodiscard]] sdn::SAgent& agent() { return agent_; }
+  [[nodiscard]] const sdn::SAgent& agent() const { return agent_; }
+  [[nodiscard]] std::uint64_t current_epoch() const { return epoch_; }
+
+  /// Per-request completion records for latency/throughput measurement.
+  struct RequestRecord {
+    std::uint64_t request_id = 0;
+    chain::RequestType type = chain::RequestType::kPacketIn;
+    sim::SimTime sent = sim::SimTime::zero();
+    std::optional<sim::SimTime> accepted;
+  };
+  [[nodiscard]] const std::vector<RequestRecord>& records() const { return records_; }
+  void clear_records() { records_.clear(); }
+  /// Packets delivered to the local host (end-to-end data-plane check).
+  [[nodiscard]] const std::vector<sdn::Packet>& delivered_packets() const {
+    return delivered_;
+  }
+
+  /// Issue an explicit reassignment request accusing `byzantine_ids`.
+  /// `force` bypasses the already-reported filter (benchmarks re-measure
+  /// the same reassignment path repeatedly; an empty forced accusation is a
+  /// pure reassignment probe).
+  void request_reassignment(const std::vector<std::uint32_t>& byzantine_ids,
+                            bool force = false);
+  /// Byzantine controllers this switch has reported so far.
+  [[nodiscard]] const std::set<std::uint32_t>& reported_byzantine() const {
+    return reported_;
+  }
+  /// Clear installed flow rules (round isolation in benchmarks).
+  void reset_flow_table();
+
+ private:
+  void on_packet_in(const sdn::Packet& packet, std::uint64_t buffer_id);
+  void on_config_accepted(const sdn::RequestMsg& request,
+                          const std::vector<std::uint8_t>& config);
+  void on_byzantine(const std::vector<std::uint32_t>& ids, sdn::ByzantineReason reason);
+  void on_group_update(const GroupUpdateMsg& update);
+  void adopt_group(const std::vector<std::uint32_t>& group, std::uint64_t epoch);
+
+  std::uint32_t switch_id_;
+  net::NodeId node_;
+  CurbNetwork& network_;
+  sdn::Switch switch_;
+  sdn::SAgent agent_;
+
+  std::map<std::uint64_t, std::uint64_t> request_to_buffer_;  // request id -> buffer id
+  std::vector<RequestRecord> records_;
+  std::vector<sdn::Packet> delivered_;
+  std::set<std::uint32_t> reported_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t next_packet_id_ = 1;
+
+  // Group-update quorum tracking: epoch -> (group bytes key -> senders).
+  std::map<std::uint64_t, std::map<std::vector<std::uint32_t>, std::set<std::uint32_t>>>
+      group_updates_;
+};
+
+}  // namespace curb::core

@@ -1,0 +1,28 @@
+#include "curb/core/messages.hpp"
+
+#include "curb/chain/transaction.hpp"
+
+namespace curb::core {
+
+std::size_t wire_size(const CurbMessage& msg) {
+  return std::visit([](const auto& m) { return m.wire_size(); }, msg);
+}
+
+std::string category_of(const CurbMessage& msg) {
+  struct Visitor {
+    std::string operator()(const sdn::RequestMsg& m) const {
+      return std::string{chain::to_string(m.type)};
+    }
+    std::string operator()(const PbftEnvelope& m) const {
+      return m.instance == PbftEnvelope::kFinalInstance ? "final-pbft" : "intra-pbft";
+    }
+    std::string operator()(const AgreeMsg&) const { return "AGREE"; }
+    std::string operator()(const FinalAgreeMsg&) const { return "FINAL-AGREE"; }
+    std::string operator()(const ReplyMsg&) const { return "REPLY"; }
+    std::string operator()(const GroupUpdateMsg&) const { return "GROUP-UPDATE"; }
+    std::string operator()(const DataPacketMsg&) const { return "DATA"; }
+  };
+  return std::visit(Visitor{}, msg);
+}
+
+}  // namespace curb::core

@@ -1,0 +1,173 @@
+#include "curb/core/network.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace curb::core {
+
+CurbNetwork::CurbNetwork(net::Topology topology, CurbOptions options)
+    : topology_{std::move(topology)}, options_{options}, sim_{options.seed} {
+  bus_ = std::make_unique<net::MessageBus<CurbMessage>>(sim_, topology_,
+                                                        options_.link_model);
+  controller_nodes_ = topology_.nodes_of_kind(net::NodeKind::kController);
+  switch_nodes_ = topology_.nodes_of_kind(net::NodeKind::kSwitch);
+  if (controller_nodes_.size() < 3 * options_.f + 1) {
+    throw std::invalid_argument{
+        "CurbNetwork: need at least 3f+1 controllers in the topology"};
+  }
+  if (switch_nodes_.empty()) {
+    throw std::invalid_argument{"CurbNetwork: topology has no switches"};
+  }
+}
+
+net::NodeId CurbNetwork::controller_topo_node(std::uint32_t id) const {
+  return controller_nodes_.at(id);
+}
+
+net::NodeId CurbNetwork::switch_topo_node(std::uint32_t id) const {
+  return switch_nodes_.at(id);
+}
+
+double CurbNetwork::cs_delay_ms(std::uint32_t switch_id, std::uint32_t controller_id) const {
+  const double km =
+      topology_.distance_km(switch_nodes_.at(switch_id), controller_nodes_.at(controller_id));
+  return options_.link_model.propagation_delay(km).as_millis_f();
+}
+
+double CurbNetwork::cc_delay_ms(std::uint32_t c1, std::uint32_t c2) const {
+  const double km =
+      topology_.distance_km(controller_nodes_.at(c1), controller_nodes_.at(c2));
+  return options_.link_model.propagation_delay(km).as_millis_f();
+}
+
+opt::CapInstance CurbNetwork::build_cap_instance(
+    const std::vector<std::uint32_t>& byzantine,
+    const std::vector<std::optional<int>>& fixed_leaders) const {
+  const std::size_t s = switch_nodes_.size();
+  const std::size_t c = controller_nodes_.size();
+  opt::CapInstance inst = opt::CapInstance::uniform(
+      s, c, static_cast<int>(3 * options_.f + 1), options_.switch_load,
+      options_.controller_capacity);
+  for (std::size_t i = 0; i < s; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      inst.cs_delay[i][j] =
+          cs_delay_ms(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j));
+    }
+  }
+  for (std::size_t j = 0; j < c; ++j) {
+    for (std::size_t j2 = 0; j2 < c; ++j2) {
+      inst.cc_delay[j][j2] =
+          cc_delay_ms(static_cast<std::uint32_t>(j), static_cast<std::uint32_t>(j2));
+    }
+  }
+  inst.max_cs_delay = options_.max_cs_delay_ms;
+  inst.max_cc_delay = options_.max_cc_delay_ms;
+  for (const std::uint32_t b : byzantine) {
+    if (b < c) inst.byzantine[b] = true;
+  }
+  if (!fixed_leaders.empty()) {
+    if (fixed_leaders.size() != s) {
+      throw std::invalid_argument{"build_cap_instance: fixed_leaders size"};
+    }
+    inst.fixed_leader = fixed_leaders;
+  }
+  return inst;
+}
+
+void CurbNetwork::solve_op_async(const opt::CapInstance& instance,
+                                 opt::CapObjective objective,
+                                 const opt::Assignment* previous,
+                                 std::function<void(opt::CapResult)> done) {
+  // The solve runs inline (as Gurobi does on the paper's controllers); its
+  // cost enters the virtual clock per the configured mode.
+  opt::MilpOptions milp_options;
+  milp_options.max_wall_ms = options_.op_wall_limit_ms;
+  opt::CapResult result = opt::solve_cap(instance, objective, previous, milp_options);
+  const sim::SimTime delay = options_.op_time_mode == OpTimeMode::kMeasured
+                                 ? sim::SimTime::from_seconds_f(
+                                       result.stats.wall_time_ms / 1000.0)
+                                 : options_.op_fixed_time;
+  sim_.schedule(delay, [done = std::move(done), result = std::move(result)] {
+    done(result);
+  });
+}
+
+std::vector<sdn::FlowEntry> CurbNetwork::compute_flow_entries(
+    std::uint32_t switch_id, const sdn::Packet& packet) const {
+  std::vector<sdn::FlowEntry> entries;
+  sdn::FlowEntry entry;
+  entry.match.dst_host = packet.dst_host;
+  entry.priority = 10;
+  if (packet.dst_host == switch_id) {
+    entry.action = {sdn::FlowAction::Kind::kDeliver, 0};
+  } else if (packet.dst_host < switch_nodes_.size()) {
+    // Destination-based rule; out_port names the egress switch (the data
+    // plane models the path as a delay-accurate logical tunnel).
+    entry.action = {sdn::FlowAction::Kind::kForward, packet.dst_host};
+  } else {
+    entry.action = {sdn::FlowAction::Kind::kDrop, 0};
+  }
+  entries.push_back(entry);
+  // The egress switch needs a deliver rule; include it so the same config
+  // installed there (via its own PKT-IN) is consistent.
+  return entries;
+}
+
+void CurbNetwork::initialize() {
+  if (initialized_) throw std::logic_error{"CurbNetwork: already initialized"};
+
+  // Controllers generate identities (pk broadcast is modelled as part of
+  // genesis: every node knows the id -> pk directory).
+  controllers_.reserve(controller_nodes_.size());
+  for (std::uint32_t id = 0; id < controller_nodes_.size(); ++id) {
+    auto key = crypto::KeyPair::from_seed("curb-controller-" + std::to_string(id) + "-" +
+                                          std::to_string(options_.seed));
+    controllers_.push_back(std::make_unique<Controller>(id, controller_nodes_[id],
+                                                        std::move(key), *this));
+  }
+  switches_.reserve(switch_nodes_.size());
+  for (std::uint32_t id = 0; id < switch_nodes_.size(); ++id) {
+    switches_.push_back(std::make_unique<SwitchNode>(id, switch_nodes_[id], *this));
+  }
+
+  // OP(swList, ctrList, constraints): the initial assignment. Bounded by
+  // the same wall budget as runtime reassignments (the greedy incumbent is
+  // returned if branch-and-bound cannot prove optimality in time).
+  const opt::CapInstance instance = build_cap_instance({});
+  opt::MilpOptions milp_options;
+  milp_options.max_wall_ms = options_.op_wall_limit_ms;
+  const opt::CapResult result =
+      opt::solve_cap(instance, opt::CapObjective::kTrivial, nullptr, milp_options);
+  if (!result.feasible) {
+    throw std::runtime_error{"CurbNetwork: initial controller assignment infeasible"};
+  }
+  genesis_state_ = AssignmentState::build(result.assignment, options_.f, /*epoch=*/0);
+
+  // Genesis block records the initialization results (assignment + ids).
+  chain::Transaction genesis_tx{chain::RequestType::kReassign, 0, 0, /*request_id=*/0,
+                                genesis_state_.serialize()};
+  genesis_block_ = std::make_unique<chain::Block>(
+      chain::Block::create(0, crypto::Hash256{}, {genesis_tx}, 0, 0));
+
+  for (auto& controller : controllers_) {
+    controller->initialize(genesis_state_, *genesis_block_);
+  }
+  for (auto& sw : switches_) {
+    sw->initialize(genesis_state_);
+  }
+
+  // Wire the bus.
+  for (std::uint32_t id = 0; id < controllers_.size(); ++id) {
+    Controller* c = controllers_[id].get();
+    bus_->attach(controller_nodes_[id],
+                 [c](net::NodeId from, const CurbMessage& msg) { c->on_message(from, msg); });
+  }
+  for (std::uint32_t id = 0; id < switches_.size(); ++id) {
+    SwitchNode* s = switches_[id].get();
+    bus_->attach(switch_nodes_[id],
+                 [s](net::NodeId from, const CurbMessage& msg) { s->on_message(from, msg); });
+  }
+  initialized_ = true;
+}
+
+}  // namespace curb::core

@@ -1,0 +1,167 @@
+#include "curb/core/switch_node.hpp"
+
+#include <algorithm>
+
+#include "curb/core/codec.hpp"
+#include "curb/core/network.hpp"
+
+namespace curb::core {
+
+SwitchNode::SwitchNode(std::uint32_t switch_id, net::NodeId node, CurbNetwork& network)
+    : switch_id_{switch_id},
+      node_{node},
+      network_{network},
+      switch_{sdn::Switch::Config{.switch_id = switch_id},
+              network.simulator(),
+              [this](const sdn::Packet& p, std::uint64_t buffer_id) {
+                on_packet_in(p, buffer_id);
+              },
+              [this](const sdn::Packet& p, std::uint32_t out_port) {
+                // Logical tunnel: the bus models shortest-path delay to the
+                // egress switch directly.
+                network_.bus().send(node_, network_.switch_topo_node(out_port),
+                                    CurbMessage{DataPacketMsg{p}}, p.size_bytes, "DATA");
+              },
+              [this](const sdn::Packet& p) { delivered_.push_back(p); }},
+      agent_{sdn::SAgent::Config{.switch_id = switch_id,
+                                 .f = network.options().f,
+                                 .reply_timeout = network.options().request_timeout,
+                                 .lazy_threshold = network.options().lazy_threshold,
+                                 .max_lazy_rounds = network.options().max_lazy_rounds,
+                                 .max_silent_rounds = network.options().max_silent_rounds},
+             network.simulator(),
+             [this](const sdn::RequestMsg& request) {
+               for (const std::uint32_t c : agent_.controller_group()) {
+                 network_.bus().send(node_, network_.controller_topo_node(c),
+                                     CurbMessage{request}, request.wire_size(),
+                                     std::string{chain::to_string(request.type)});
+               }
+             },
+             [this](const sdn::RequestMsg& request,
+                    const std::vector<std::uint8_t>& config) {
+               on_config_accepted(request, config);
+             },
+             [this](const std::vector<std::uint32_t>& ids, sdn::ByzantineReason reason) {
+               on_byzantine(ids, reason);
+             }} {}
+
+void SwitchNode::initialize(const AssignmentState& state) {
+  const GroupInfo& group = state.group(state.group_of_switch(switch_id_));
+  agent_.set_controller_group(group.members, group.leader);
+  epoch_ = state.epoch();
+}
+
+void SwitchNode::on_message(net::NodeId /*from*/, const CurbMessage& msg) {
+  std::visit(
+      [this](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, ReplyMsg>) {
+          if (m.switch_id == switch_id_) {
+            agent_.on_reply(m.controller_id, m.request_id, m.config);
+          }
+        } else if constexpr (std::is_same_v<T, GroupUpdateMsg>) {
+          if (m.switch_id == switch_id_) on_group_update(m);
+        } else if constexpr (std::is_same_v<T, DataPacketMsg>) {
+          switch_.receive(m.packet);
+        }
+      },
+      msg);
+}
+
+void SwitchNode::host_send(std::uint32_t dst_switch_id, std::uint32_t size_bytes) {
+  sdn::Packet p;
+  p.src_host = switch_id_;
+  p.dst_host = dst_switch_id;
+  p.id = (static_cast<std::uint64_t>(switch_id_) << 32) | next_packet_id_++;
+  p.size_bytes = size_bytes;
+  switch_.receive(p);
+}
+
+void SwitchNode::on_packet_in(const sdn::Packet& packet, std::uint64_t buffer_id) {
+  const std::uint64_t request_id =
+      agent_.send_request(chain::RequestType::kPacketIn, serialize_packet(packet));
+  request_to_buffer_[request_id] = buffer_id;
+  records_.push_back(RequestRecord{request_id, chain::RequestType::kPacketIn,
+                                   network_.simulator().now(), std::nullopt});
+}
+
+void SwitchNode::request_reassignment(const std::vector<std::uint32_t>& byzantine_ids,
+                                      bool force) {
+  std::vector<std::uint32_t> fresh;
+  for (const std::uint32_t id : byzantine_ids) {
+    if (reported_.insert(id).second) fresh.push_back(id);
+  }
+  if (fresh.empty() && !force) return;  // all already reported: avoid RE-ASS storms
+  if (force) fresh = byzantine_ids;
+  const std::uint64_t request_id =
+      agent_.send_request(chain::RequestType::kReassign, serialize_id_list(fresh));
+  records_.push_back(RequestRecord{request_id, chain::RequestType::kReassign,
+                                   network_.simulator().now(), std::nullopt});
+}
+
+void SwitchNode::reset_flow_table() {
+  switch_.table() = sdn::FlowTable{};
+}
+
+void SwitchNode::on_config_accepted(const sdn::RequestMsg& request,
+                                    const std::vector<std::uint8_t>& config) {
+  for (auto& record : records_) {
+    if (record.request_id == request.request_id && !record.accepted) {
+      record.accepted = network_.simulator().now();
+      break;
+    }
+  }
+  if (request.type == chain::RequestType::kPacketIn) {
+    // FLOW_MOD + PACKET_OUT (Algorithm 1 lines 5-6).
+    try {
+      switch_.install(sdn::FlowEntry::deserialize_list(config));
+    } catch (const std::exception&) {
+      return;  // corrupted config that somehow reached quorum: refuse
+    }
+    const auto it = request_to_buffer_.find(request.request_id);
+    if (it != request_to_buffer_.end()) {
+      switch_.packet_out(it->second);
+      request_to_buffer_.erase(it);
+    }
+    return;
+  }
+  // RE-ASS accepted (Algorithm 1 lines 7-8): adopt the new ctrList_s.
+  try {
+    adopt_group(deserialize_id_list(config), epoch_ + 1);
+  } catch (const std::exception&) {
+  }
+}
+
+void SwitchNode::on_byzantine(const std::vector<std::uint32_t>& ids,
+                              sdn::ByzantineReason /*reason*/) {
+  request_reassignment(ids);
+}
+
+void SwitchNode::on_group_update(const GroupUpdateMsg& update) {
+  if (update.epoch <= epoch_) return;
+  const std::uint32_t sender = update.controller_id;
+  // Accept the update only from a plausible sender: current group member or
+  // a member of the proposed new group.
+  const auto& group = agent_.controller_group();
+  const bool known = std::find(group.begin(), group.end(), sender) != group.end() ||
+                     std::find(update.new_group.begin(), update.new_group.end(), sender) !=
+                         update.new_group.end();
+  if (!known) return;
+  auto& votes = group_updates_[update.epoch][update.new_group];
+  votes.insert(sender);
+  if (votes.size() >= network_.options().f + 1) {
+    adopt_group(update.new_group, update.epoch);
+  }
+}
+
+void SwitchNode::adopt_group(const std::vector<std::uint32_t>& group, std::uint64_t epoch) {
+  if (group.empty()) return;
+  // The leader hint: Curb fixes leaders via [C2.6]; switches learn it as
+  // the lowest id by default (refined lazily — the agent only uses it for
+  // blame attribution on total silence).
+  agent_.set_controller_group(group, group.front());
+  epoch_ = std::max(epoch_, epoch);
+  group_updates_.erase(epoch_);
+}
+
+}  // namespace curb::core

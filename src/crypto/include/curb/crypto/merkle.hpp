@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "curb/crypto/sha256.hpp"
+
+namespace curb::crypto {
+
+/// Merkle tree over SHA-256 with Bitcoin-style odd-node duplication.
+/// Blocks in the Curb chain commit to their transaction list through the
+/// Merkle root; proofs let a light verifier check a single transaction's
+/// inclusion without the full block body.
+class MerkleTree {
+ public:
+  /// Build from leaf hashes. An empty leaf set has the all-zero root.
+  explicit MerkleTree(std::vector<Hash256> leaves);
+
+  [[nodiscard]] const Hash256& root() const { return levels_.back().front(); }
+  [[nodiscard]] std::size_t leaf_count() const { return leaf_count_; }
+
+  struct ProofStep {
+    Hash256 sibling;
+    bool sibling_on_right;  // true: hash(current || sibling), else reversed
+  };
+  using Proof = std::vector<ProofStep>;
+
+  /// Inclusion proof for the leaf at `index`; throws std::out_of_range.
+  [[nodiscard]] Proof prove(std::size_t index) const;
+
+  /// Verify a proof against a root.
+  [[nodiscard]] static bool verify(const Hash256& leaf, const Proof& proof,
+                                   const Hash256& root);
+
+  /// Convenience: root of a list of leaves without keeping the tree.
+  [[nodiscard]] static Hash256 root_of(const std::vector<Hash256>& leaves);
+
+  /// Combine two child hashes into a parent hash.
+  [[nodiscard]] static Hash256 combine(const Hash256& left, const Hash256& right);
+
+ private:
+  std::size_t leaf_count_;
+  std::vector<std::vector<Hash256>> levels_;  // levels_[0] = leaves
+};
+
+}  // namespace curb::crypto

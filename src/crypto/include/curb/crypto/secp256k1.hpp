@@ -1,0 +1,113 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "curb/crypto/sha256.hpp"
+#include "curb/crypto/u256.hpp"
+
+namespace curb::crypto {
+
+/// secp256k1 curve arithmetic: y^2 = x^3 + 7 over F_p,
+///   p = 2^256 - 2^32 - 977.
+/// Implemented from scratch (Jacobian coordinates, fast reduction for the
+/// pseudo-Mersenne prime) to replace the paper's pure-Python ECDSA stack.
+/// Not constant-time: this is a protocol simulation, not a wallet.
+namespace secp256k1 {
+
+/// Field prime p.
+[[nodiscard]] const U256& field_prime();
+/// Group order n.
+[[nodiscard]] const U256& group_order();
+/// Generator point G in affine coordinates.
+struct AffinePoint {
+  U256 x;
+  U256 y;
+  bool infinity = false;
+
+  bool operator==(const AffinePoint&) const = default;
+};
+[[nodiscard]] const AffinePoint& generator();
+
+// --- Field arithmetic mod p (fast pseudo-Mersenne reduction) ---
+[[nodiscard]] U256 fe_add(const U256& a, const U256& b);
+[[nodiscard]] U256 fe_sub(const U256& a, const U256& b);
+[[nodiscard]] U256 fe_mul(const U256& a, const U256& b);
+[[nodiscard]] U256 fe_sqr(const U256& a);
+[[nodiscard]] U256 fe_inv(const U256& a);
+
+/// Jacobian point (X, Y, Z); affine = (X/Z^2, Y/Z^3). Z = 0 encodes infinity.
+struct JacobianPoint {
+  U256 x;
+  U256 y;
+  U256 z;
+
+  [[nodiscard]] static JacobianPoint infinity() { return {U256{1}, U256{1}, U256{}}; }
+  [[nodiscard]] static JacobianPoint from_affine(const AffinePoint& p);
+  [[nodiscard]] bool is_infinity() const { return z.is_zero(); }
+  [[nodiscard]] AffinePoint to_affine() const;
+};
+
+[[nodiscard]] JacobianPoint point_double(const JacobianPoint& p);
+[[nodiscard]] JacobianPoint point_add(const JacobianPoint& p, const JacobianPoint& q);
+/// Scalar multiplication k*P (double-and-add, MSB first).
+[[nodiscard]] JacobianPoint scalar_mul(const U256& k, const JacobianPoint& p);
+/// k*G.
+[[nodiscard]] JacobianPoint scalar_mul_base(const U256& k);
+
+/// True iff (x, y) satisfies the curve equation (and is not infinity).
+[[nodiscard]] bool on_curve(const AffinePoint& p);
+
+}  // namespace secp256k1
+
+/// ECDSA signature (r, s) over secp256k1 with SHA-256 digests.
+struct Signature {
+  U256 r;
+  U256 s;
+
+  bool operator==(const Signature&) const = default;
+  [[nodiscard]] std::array<std::uint8_t, 64> to_bytes() const;
+  [[nodiscard]] static Signature from_bytes(std::span<const std::uint8_t, 64> bytes);
+};
+
+/// Compressed SEC1 public key (33 bytes: 0x02/0x03 prefix + x coordinate).
+/// Used directly as a controller's identity, mirroring the paper's "broadcast
+/// pk as its ID" initialization step.
+struct PublicKey {
+  secp256k1::AffinePoint point;
+
+  bool operator==(const PublicKey&) const = default;
+  [[nodiscard]] std::array<std::uint8_t, 33> to_bytes() const;
+  [[nodiscard]] static std::optional<PublicKey> from_bytes(
+      std::span<const std::uint8_t, 33> bytes);
+  /// Hex of the compressed encoding — a stable printable node identity.
+  [[nodiscard]] std::string to_hex() const;
+};
+
+/// Key pair with deterministic derivation from a seed (reproducible runs).
+class KeyPair {
+ public:
+  /// Derive a valid private key from an arbitrary seed string.
+  [[nodiscard]] static KeyPair from_seed(std::string_view seed);
+  /// Construct from a raw private scalar in [1, n-1].
+  [[nodiscard]] static KeyPair from_private(const U256& d);
+
+  [[nodiscard]] const U256& private_key() const { return d_; }
+  [[nodiscard]] const PublicKey& public_key() const { return pub_; }
+
+  /// Sign a 32-byte message digest (deterministic nonce, RFC6979-flavoured).
+  [[nodiscard]] Signature sign(const Hash256& digest) const;
+
+ private:
+  KeyPair(U256 d, PublicKey pub) : d_{d}, pub_{pub} {}
+  U256 d_;
+  PublicKey pub_;
+};
+
+/// Verify an ECDSA signature over a 32-byte digest.
+[[nodiscard]] bool verify(const PublicKey& pub, const Hash256& digest, const Signature& sig);
+
+}  // namespace curb::crypto

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace curb::crypto {
+
+/// 32-byte digest value with hashing/ordering support so it can key maps.
+using Hash256 = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 (FIPS 180-4). Implemented from scratch: the paper's
+/// stack used pure-Python hashing; we provide the equivalent primitive for
+/// block hashes, transaction ids, Merkle trees, and ECDSA message digests.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  Sha256& update(std::span<const std::uint8_t> data);
+  Sha256& update(std::string_view data);
+  /// Finalizes and returns the digest; the object must be reset() before reuse.
+  [[nodiscard]] Hash256 finish();
+
+  [[nodiscard]] static Hash256 digest(std::span<const std::uint8_t> data);
+  [[nodiscard]] static Hash256 digest(std::string_view data);
+  /// SHA-256d (double hash), the flavour used for block ids in many chains.
+  [[nodiscard]] static Hash256 double_digest(std::span<const std::uint8_t> data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// Lowercase hex encoding of arbitrary bytes.
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::string to_hex(const Hash256& h);
+/// Strict decoder: throws std::invalid_argument on odd length or non-hex.
+[[nodiscard]] std::vector<std::uint8_t> from_hex(std::string_view hex);
+
+/// Short printable prefix of a hash (for logs and traces).
+[[nodiscard]] std::string short_hex(const Hash256& h, std::size_t bytes = 4);
+
+}  // namespace curb::crypto

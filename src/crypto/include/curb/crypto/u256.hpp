@@ -1,0 +1,84 @@
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "curb/crypto/sha256.hpp"
+
+namespace curb::crypto {
+
+/// Unsigned 256-bit integer stored as four little-endian 64-bit limbs.
+/// Provides exactly the arithmetic secp256k1 ECDSA needs: add/sub with
+/// carry, widening multiply, modular reduction, and modular inverse. This
+/// replaces the arbitrary-precision integers the paper's pure-Python ECDSA
+/// relied on.
+class U256 {
+ public:
+  constexpr U256() = default;
+  constexpr explicit U256(std::uint64_t lo) : limbs_{lo, 0, 0, 0} {}
+  constexpr U256(std::uint64_t l0, std::uint64_t l1, std::uint64_t l2, std::uint64_t l3)
+      : limbs_{l0, l1, l2, l3} {}
+
+  /// Parse a big-endian hex string (up to 64 hex digits, no 0x prefix).
+  [[nodiscard]] static U256 from_hex(std::string_view hex);
+  /// Interpret a 32-byte big-endian buffer (e.g. a SHA-256 digest).
+  [[nodiscard]] static U256 from_bytes(std::span<const std::uint8_t, 32> bytes);
+  [[nodiscard]] static U256 from_hash(const Hash256& h) {
+    return from_bytes(std::span<const std::uint8_t, 32>{h});
+  }
+
+  [[nodiscard]] std::array<std::uint8_t, 32> to_bytes() const;  // big-endian
+  [[nodiscard]] std::string to_hex() const;                     // 64 lowercase digits
+
+  [[nodiscard]] constexpr bool is_zero() const {
+    return (limbs_[0] | limbs_[1] | limbs_[2] | limbs_[3]) == 0;
+  }
+  [[nodiscard]] constexpr bool is_odd() const { return (limbs_[0] & 1) != 0; }
+  [[nodiscard]] constexpr std::uint64_t limb(int i) const { return limbs_[i]; }
+  [[nodiscard]] bool bit(int i) const {
+    return ((limbs_[i / 64] >> (i % 64)) & 1ULL) != 0;
+  }
+  /// Index of highest set bit, or -1 for zero.
+  [[nodiscard]] int highest_bit() const;
+
+  constexpr auto operator<=>(const U256& rhs) const {
+    for (int i = 3; i >= 0; --i) {
+      if (limbs_[i] != rhs.limbs_[i]) return limbs_[i] <=> rhs.limbs_[i];
+    }
+    return std::strong_ordering::equal;
+  }
+  constexpr bool operator==(const U256&) const = default;
+
+  /// a + b, returning the carry-out bit.
+  static bool add_with_carry(const U256& a, const U256& b, U256& out);
+  /// a - b, returning the borrow-out bit (true if a < b).
+  static bool sub_with_borrow(const U256& a, const U256& b, U256& out);
+  /// Full 256x256 -> 512-bit product as eight little-endian limbs.
+  static std::array<std::uint64_t, 8> mul_wide(const U256& a, const U256& b);
+
+  U256 operator<<(unsigned n) const;
+  U256 operator>>(unsigned n) const;
+
+  // --- Modular arithmetic (all operands must already be < m) ---
+  [[nodiscard]] static U256 add_mod(const U256& a, const U256& b, const U256& m);
+  [[nodiscard]] static U256 sub_mod(const U256& a, const U256& b, const U256& m);
+  /// Generic shift-and-add modular multiplication; O(256) modular additions.
+  [[nodiscard]] static U256 mul_mod(const U256& a, const U256& b, const U256& m);
+  /// Modular exponentiation by squaring (used for Fermat inversion).
+  [[nodiscard]] static U256 pow_mod(const U256& a, const U256& e, const U256& m);
+  /// Modular inverse for prime modulus m (Fermat: a^(m-2) mod m).
+  [[nodiscard]] static U256 inv_mod_prime(const U256& a, const U256& m);
+  /// Reduce an arbitrary 256-bit value modulo m (binary long division).
+  [[nodiscard]] static U256 reduce(const U256& a, const U256& m);
+  /// Reduce a 512-bit value modulo m.
+  [[nodiscard]] static U256 reduce_wide(const std::array<std::uint64_t, 8>& a, const U256& m);
+
+ private:
+  std::array<std::uint64_t, 4> limbs_{0, 0, 0, 0};
+};
+
+}  // namespace curb::crypto

@@ -1,0 +1,60 @@
+#include "curb/crypto/merkle.hpp"
+
+#include <stdexcept>
+
+namespace curb::crypto {
+
+Hash256 MerkleTree::combine(const Hash256& left, const Hash256& right) {
+  Sha256 h;
+  h.update(std::span<const std::uint8_t>{left});
+  h.update(std::span<const std::uint8_t>{right});
+  return h.finish();
+}
+
+MerkleTree::MerkleTree(std::vector<Hash256> leaves) : leaf_count_{leaves.size()} {
+  if (leaves.empty()) {
+    levels_.push_back({Hash256{}});
+    return;
+  }
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Hash256> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i < prev.size(); i += 2) {
+      const Hash256& left = prev[i];
+      const Hash256& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
+      next.push_back(combine(left, right));
+    }
+    levels_.push_back(std::move(next));
+  }
+}
+
+MerkleTree::Proof MerkleTree::prove(std::size_t index) const {
+  if (index >= leaf_count_) throw std::out_of_range{"MerkleTree::prove: bad index"};
+  Proof proof;
+  std::size_t pos = index;
+  for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const auto& nodes = levels_[level];
+    const std::size_t sibling = (pos % 2 == 0) ? pos + 1 : pos - 1;
+    const Hash256& sib_hash = sibling < nodes.size() ? nodes[sibling] : nodes[pos];
+    proof.push_back({sib_hash, pos % 2 == 0});
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::verify(const Hash256& leaf, const Proof& proof, const Hash256& root) {
+  Hash256 current = leaf;
+  for (const auto& step : proof) {
+    current = step.sibling_on_right ? combine(current, step.sibling)
+                                    : combine(step.sibling, current);
+  }
+  return current == root;
+}
+
+Hash256 MerkleTree::root_of(const std::vector<Hash256>& leaves) {
+  return MerkleTree{leaves}.root();
+}
+
+}  // namespace curb::crypto

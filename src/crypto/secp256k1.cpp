@@ -1,0 +1,313 @@
+#include "curb/crypto/secp256k1.hpp"
+
+#include <stdexcept>
+
+namespace curb::crypto {
+
+namespace secp256k1 {
+
+namespace {
+__extension__ typedef unsigned __int128 u128;
+
+// p = 2^256 - 2^32 - 977; 2^256 ≡ 2^32 + 977 (mod p).
+constexpr std::uint64_t kReduceC = (1ULL << 32) + 977ULL;
+
+const U256 kP = U256::from_hex(
+    "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+const U256 kN = U256::from_hex(
+    "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
+const U256 kGx = U256::from_hex(
+    "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798");
+const U256 kGy = U256::from_hex(
+    "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8");
+
+/// Multiply a 4-limb value by a 64-bit constant, producing 5 limbs.
+std::array<std::uint64_t, 5> mul_small(const std::array<std::uint64_t, 4>& a,
+                                       std::uint64_t k) {
+  std::array<std::uint64_t, 5> out{};
+  std::uint64_t carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 cur = static_cast<u128>(a[i]) * k + carry;
+    out[i] = static_cast<std::uint64_t>(cur);
+    carry = static_cast<std::uint64_t>(cur >> 64);
+  }
+  out[4] = carry;
+  return out;
+}
+
+/// Reduce an 8-limb (512-bit) value modulo p using the pseudo-Mersenne
+/// identity 2^256 ≡ 2^32 + 977, folding twice then conditionally subtracting.
+U256 reduce_p(const std::array<std::uint64_t, 8>& t) {
+  const std::array<std::uint64_t, 4> lo{t[0], t[1], t[2], t[3]};
+  const std::array<std::uint64_t, 4> hi{t[4], t[5], t[6], t[7]};
+
+  // fold1 = lo + hi * (2^32 + 977): at most 256 + 64 + 1 bits -> 5 limbs + carry.
+  const auto hi_c = mul_small(hi, kReduceC);
+  std::array<std::uint64_t, 5> acc{};
+  std::uint64_t carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 cur = static_cast<u128>(lo[i]) + hi_c[i] + carry;
+    acc[i] = static_cast<std::uint64_t>(cur);
+    carry = static_cast<std::uint64_t>(cur >> 64);
+  }
+  acc[4] = hi_c[4] + carry;  // cannot overflow: hi_c[4] < 2^33
+
+  // Second fold: acc[4] * (2^32 + 977) added into the low 256 bits.
+  const u128 fold = static_cast<u128>(acc[4]) * kReduceC;
+  U256 result{acc[0], acc[1], acc[2], acc[3]};
+  U256 addend{static_cast<std::uint64_t>(fold), static_cast<std::uint64_t>(fold >> 64), 0, 0};
+  U256 sum;
+  if (U256::add_with_carry(result, addend, sum)) {
+    // A carry past 2^256 means one more fold of exactly 2^32 + 977.
+    U256 folded;
+    U256::add_with_carry(sum, U256{kReduceC}, folded);
+    sum = folded;
+  }
+  while (sum >= kP) {
+    U256 next;
+    U256::sub_with_borrow(sum, kP, next);
+    sum = next;
+  }
+  return sum;
+}
+
+}  // namespace
+
+const U256& field_prime() { return kP; }
+const U256& group_order() { return kN; }
+
+const AffinePoint& generator() {
+  static const AffinePoint g{kGx, kGy, false};
+  return g;
+}
+
+U256 fe_add(const U256& a, const U256& b) { return U256::add_mod(a, b, kP); }
+U256 fe_sub(const U256& a, const U256& b) { return U256::sub_mod(a, b, kP); }
+
+U256 fe_mul(const U256& a, const U256& b) { return reduce_p(U256::mul_wide(a, b)); }
+U256 fe_sqr(const U256& a) { return fe_mul(a, a); }
+
+U256 fe_inv(const U256& a) {
+  if (a.is_zero()) throw std::domain_error{"fe_inv: zero"};
+  // Fermat: a^(p-2); square-and-multiply with the fast field multiply.
+  U256 exp;
+  U256::sub_with_borrow(kP, U256{2}, exp);
+  U256 result{1};
+  U256 base = a;
+  const int top = exp.highest_bit();
+  for (int i = 0; i <= top; ++i) {
+    if (exp.bit(i)) result = fe_mul(result, base);
+    base = fe_sqr(base);
+  }
+  return result;
+}
+
+JacobianPoint JacobianPoint::from_affine(const AffinePoint& p) {
+  if (p.infinity) return infinity();
+  return {p.x, p.y, U256{1}};
+}
+
+AffinePoint JacobianPoint::to_affine() const {
+  if (is_infinity()) return {U256{}, U256{}, true};
+  const U256 z_inv = fe_inv(z);
+  const U256 z_inv2 = fe_sqr(z_inv);
+  const U256 z_inv3 = fe_mul(z_inv2, z_inv);
+  return {fe_mul(x, z_inv2), fe_mul(y, z_inv3), false};
+}
+
+JacobianPoint point_double(const JacobianPoint& p) {
+  if (p.is_infinity() || p.y.is_zero()) return JacobianPoint::infinity();
+  const U256 y2 = fe_sqr(p.y);
+  const U256 s = fe_mul(fe_mul(U256{4}, p.x), y2);           // S = 4*X*Y^2
+  const U256 m = fe_mul(U256{3}, fe_sqr(p.x));               // M = 3*X^2 (a = 0)
+  const U256 x3 = fe_sub(fe_sqr(m), fe_mul(U256{2}, s));     // X' = M^2 - 2S
+  const U256 y4 = fe_sqr(y2);
+  const U256 y3 = fe_sub(fe_mul(m, fe_sub(s, x3)), fe_mul(U256{8}, y4));
+  const U256 z3 = fe_mul(fe_mul(U256{2}, p.y), p.z);         // Z' = 2*Y*Z
+  return {x3, y3, z3};
+}
+
+JacobianPoint point_add(const JacobianPoint& p, const JacobianPoint& q) {
+  if (p.is_infinity()) return q;
+  if (q.is_infinity()) return p;
+  const U256 z1_2 = fe_sqr(p.z);
+  const U256 z2_2 = fe_sqr(q.z);
+  const U256 u1 = fe_mul(p.x, z2_2);
+  const U256 u2 = fe_mul(q.x, z1_2);
+  const U256 s1 = fe_mul(p.y, fe_mul(z2_2, q.z));
+  const U256 s2 = fe_mul(q.y, fe_mul(z1_2, p.z));
+  if (u1 == u2) {
+    if (s1 != s2) return JacobianPoint::infinity();
+    return point_double(p);
+  }
+  const U256 h = fe_sub(u2, u1);
+  const U256 r = fe_sub(s2, s1);
+  const U256 h2 = fe_sqr(h);
+  const U256 h3 = fe_mul(h2, h);
+  const U256 u1h2 = fe_mul(u1, h2);
+  const U256 x3 = fe_sub(fe_sub(fe_sqr(r), h3), fe_mul(U256{2}, u1h2));
+  const U256 y3 = fe_sub(fe_mul(r, fe_sub(u1h2, x3)), fe_mul(s1, h3));
+  const U256 z3 = fe_mul(h, fe_mul(p.z, q.z));
+  return {x3, y3, z3};
+}
+
+JacobianPoint scalar_mul(const U256& k, const JacobianPoint& p) {
+  JacobianPoint acc = JacobianPoint::infinity();
+  const int top = k.highest_bit();
+  for (int i = top; i >= 0; --i) {
+    acc = point_double(acc);
+    if (k.bit(i)) acc = point_add(acc, p);
+  }
+  return acc;
+}
+
+JacobianPoint scalar_mul_base(const U256& k) {
+  return scalar_mul(k, JacobianPoint::from_affine(generator()));
+}
+
+bool on_curve(const AffinePoint& p) {
+  if (p.infinity) return false;
+  if (p.x >= kP || p.y >= kP) return false;
+  const U256 lhs = fe_sqr(p.y);
+  const U256 rhs = fe_add(fe_mul(fe_sqr(p.x), p.x), U256{7});
+  return lhs == rhs;
+}
+
+}  // namespace secp256k1
+
+namespace {
+
+using secp256k1::AffinePoint;
+using secp256k1::JacobianPoint;
+
+/// Hash arbitrary material down to a scalar in [1, n-1].
+U256 hash_to_scalar(std::span<const std::uint8_t> material) {
+  const U256 n = secp256k1::group_order();
+  std::vector<std::uint8_t> buf{material.begin(), material.end()};
+  buf.push_back(0);
+  for (std::uint8_t counter = 0;; ++counter) {
+    buf.back() = counter;
+    const Hash256 h = Sha256::digest(std::span<const std::uint8_t>{buf});
+    const U256 candidate = U256::reduce(U256::from_hash(h), n);
+    if (!candidate.is_zero()) return candidate;
+  }
+}
+
+/// Recover the y coordinate for a compressed key: y^2 = x^3 + 7,
+/// sqrt via y = (x^3+7)^((p+1)/4) since p ≡ 3 (mod 4).
+std::optional<U256> sqrt_mod_p(const U256& a) {
+  const U256 p = secp256k1::field_prime();
+  // exp = (p + 1) / 4
+  U256 exp;
+  U256::add_with_carry(p, U256{1}, exp);  // p + 1 fits: p < 2^256 - 1
+  exp = exp >> 2;
+  const U256 root = U256::pow_mod(a, exp, p);
+  if (secp256k1::fe_mul(root, root) != U256::reduce(a, p)) return std::nullopt;
+  return root;
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 64> Signature::to_bytes() const {
+  std::array<std::uint8_t, 64> out{};
+  const auto rb = r.to_bytes();
+  const auto sb = s.to_bytes();
+  std::copy(rb.begin(), rb.end(), out.begin());
+  std::copy(sb.begin(), sb.end(), out.begin() + 32);
+  return out;
+}
+
+Signature Signature::from_bytes(std::span<const std::uint8_t, 64> bytes) {
+  return Signature{U256::from_bytes(bytes.subspan<0, 32>()),
+                   U256::from_bytes(bytes.subspan<32, 32>())};
+}
+
+std::array<std::uint8_t, 33> PublicKey::to_bytes() const {
+  std::array<std::uint8_t, 33> out{};
+  out[0] = point.y.is_odd() ? 0x03 : 0x02;
+  const auto xb = point.x.to_bytes();
+  std::copy(xb.begin(), xb.end(), out.begin() + 1);
+  return out;
+}
+
+std::optional<PublicKey> PublicKey::from_bytes(std::span<const std::uint8_t, 33> bytes) {
+  if (bytes[0] != 0x02 && bytes[0] != 0x03) return std::nullopt;
+  const U256 x = U256::from_bytes(bytes.subspan<1, 32>());
+  if (x >= secp256k1::field_prime()) return std::nullopt;
+  const U256 rhs =
+      secp256k1::fe_add(secp256k1::fe_mul(secp256k1::fe_sqr(x), x), U256{7});
+  const auto y = sqrt_mod_p(rhs);
+  if (!y) return std::nullopt;
+  U256 y_final = *y;
+  const bool want_odd = bytes[0] == 0x03;
+  if (y_final.is_odd() != want_odd) {
+    y_final = secp256k1::fe_sub(U256{}, y_final);  // p - y
+  }
+  const AffinePoint p{x, y_final, false};
+  if (!secp256k1::on_curve(p)) return std::nullopt;
+  return PublicKey{p};
+}
+
+std::string PublicKey::to_hex() const {
+  const auto bytes = to_bytes();
+  return curb::crypto::to_hex(std::span<const std::uint8_t>{bytes});
+}
+
+KeyPair KeyPair::from_seed(std::string_view seed) {
+  const Hash256 h = Sha256::digest(seed);
+  std::array<std::uint8_t, 32> material = h;
+  return from_private(hash_to_scalar(std::span<const std::uint8_t>{material}));
+}
+
+KeyPair KeyPair::from_private(const U256& d) {
+  if (d.is_zero() || d >= secp256k1::group_order()) {
+    throw std::invalid_argument{"KeyPair: private key out of range"};
+  }
+  const AffinePoint q = secp256k1::scalar_mul_base(d).to_affine();
+  return KeyPair{d, PublicKey{q}};
+}
+
+Signature KeyPair::sign(const Hash256& digest) const {
+  const U256 n = secp256k1::group_order();
+  const U256 z = U256::reduce(U256::from_hash(digest), n);
+
+  // Deterministic nonce: hash(private || digest || counter), RFC6979 spirit.
+  std::vector<std::uint8_t> material;
+  const auto db = d_.to_bytes();
+  material.insert(material.end(), db.begin(), db.end());
+  material.insert(material.end(), digest.begin(), digest.end());
+
+  for (std::uint8_t attempt = 0;; ++attempt) {
+    std::vector<std::uint8_t> m = material;
+    m.push_back(attempt);
+    const U256 k = hash_to_scalar(std::span<const std::uint8_t>{m});
+    const AffinePoint rp = secp256k1::scalar_mul_base(k).to_affine();
+    const U256 r = U256::reduce(rp.x, n);
+    if (r.is_zero()) continue;
+    const U256 k_inv = U256::inv_mod_prime(k, n);
+    const U256 rd = U256::mul_mod(r, d_, n);
+    const U256 s = U256::mul_mod(k_inv, U256::add_mod(z, rd, n), n);
+    if (s.is_zero()) continue;
+    return Signature{r, s};
+  }
+}
+
+bool verify(const PublicKey& pub, const Hash256& digest, const Signature& sig) {
+  const U256 n = secp256k1::group_order();
+  if (sig.r.is_zero() || sig.r >= n || sig.s.is_zero() || sig.s >= n) return false;
+  if (!secp256k1::on_curve(pub.point)) return false;
+
+  const U256 z = U256::reduce(U256::from_hash(digest), n);
+  const U256 w = U256::inv_mod_prime(sig.s, n);
+  const U256 u1 = U256::mul_mod(z, w, n);
+  const U256 u2 = U256::mul_mod(sig.r, w, n);
+
+  const JacobianPoint p1 = secp256k1::scalar_mul_base(u1);
+  const JacobianPoint p2 =
+      secp256k1::scalar_mul(u2, JacobianPoint::from_affine(pub.point));
+  const AffinePoint sum = secp256k1::point_add(p1, p2).to_affine();
+  if (sum.infinity) return false;
+  return U256::reduce(sum.x, n) == sig.r;
+}
+
+}  // namespace curb::crypto

@@ -1,0 +1,18 @@
+#pragma once
+
+namespace curb::net {
+
+/// Geographic coordinate in degrees. Link lengths in the Internet2
+/// reproduction are derived from great-circle distances between member
+/// cities, exactly as the paper derives delays from geographic distance.
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  bool operator==(const GeoPoint&) const = default;
+};
+
+/// Great-circle distance (haversine) in kilometres; Earth radius 6371 km.
+[[nodiscard]] double great_circle_km(GeoPoint a, GeoPoint b);
+
+}  // namespace curb::net

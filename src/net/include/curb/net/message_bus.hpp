@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "curb/net/link_model.hpp"
+#include "curb/net/topology.hpp"
+#include "curb/sim/simulator.hpp"
+#include "curb/sim/time.hpp"
+
+namespace curb::net {
+
+/// Per-category message accounting. Theorem 1 in the paper bounds the
+/// *number* of messages per round; the bus counts every send so benches can
+/// measure the bound directly instead of arguing about it.
+class MessageStats {
+ public:
+  void record(const std::string& category, std::size_t bytes) {
+    auto& entry = by_category_[category];
+    ++entry.count;
+    entry.bytes += bytes;
+    ++total_count_;
+    total_bytes_ += bytes;
+  }
+
+  [[nodiscard]] std::uint64_t total_messages() const { return total_count_; }
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+  [[nodiscard]] std::uint64_t messages(const std::string& category) const {
+    const auto it = by_category_.find(category);
+    return it == by_category_.end() ? 0 : it->second.count;
+  }
+  [[nodiscard]] const std::map<std::string, std::pair<std::uint64_t, std::uint64_t>>
+  snapshot() const {
+    std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> out;
+    for (const auto& [k, v] : by_category_) out[k] = {v.count, v.bytes};
+    return out;
+  }
+  void reset() {
+    by_category_.clear();
+    total_count_ = 0;
+    total_bytes_ = 0;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t count = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::map<std::string, Entry> by_category_;
+  std::uint64_t total_count_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// Simulated transport connecting topology nodes, replacing the paper's
+/// gRPC layer. Delivery delay = LinkModel delay over the shortest-path
+/// distance between the endpoints. Payloads are caller-defined; the bus is
+/// agnostic and only needs a byte size for the transmission-delay term.
+///
+/// Fault hooks:
+///  - a drop filter can silently discard messages (silent-byzantine links),
+///  - per-node extra delay models "lazy" nodes that respond slowly
+///    (paper's experiment 3).
+template <typename Payload>
+class MessageBus {
+ public:
+  using Handler = std::function<void(NodeId from, const Payload&)>;
+  /// Returns std::nullopt to drop, or an extra delay to add.
+  using Interceptor =
+      std::function<std::optional<sim::SimTime>(NodeId from, NodeId to, const Payload&)>;
+
+  MessageBus(sim::Simulator& sim, const Topology& topo, LinkModel model = {})
+      : sim_{sim}, topo_{topo}, model_{model}, handlers_(topo.node_count()) {}
+
+  /// Register the receive handler of a node (one per node). The handler
+  /// table tracks the topology, which may gain nodes after construction.
+  void attach(NodeId node, Handler handler) {
+    if (node.value >= topo_.node_count()) throw std::out_of_range{"MessageBus: bad node"};
+    if (handlers_.size() < topo_.node_count()) handlers_.resize(topo_.node_count());
+    handlers_[node.value] = std::move(handler);
+  }
+
+  void set_interceptor(Interceptor interceptor) { interceptor_ = std::move(interceptor); }
+
+  /// Send a payload; `category` feeds message accounting, `bytes` the
+  /// transmission-delay term. Self-sends are delivered with only the
+  /// overhead delay (no propagation).
+  void send(NodeId from, NodeId to, Payload payload, std::size_t bytes,
+            const std::string& category) {
+    stats_.record(category, bytes);
+    sim::SimTime delay = model_.per_message_overhead + model_.transmission_delay(bytes);
+    if (from != to) {
+      const double km = topo_.distance_km(from, to);
+      if (km == Topology::kUnreachable) return;  // partitioned: message lost
+      delay += model_.propagation_delay(km);
+    }
+    if (interceptor_) {
+      const auto extra = interceptor_(from, to, payload);
+      if (!extra) return;  // dropped
+      delay += *extra;
+    }
+    sim_.schedule(delay, [this, from, to, payload = std::move(payload)] {
+      if (to.value >= handlers_.size()) return;  // no handler ever attached
+      if (auto& handler = handlers_[to.value]) handler(from, payload);
+    });
+  }
+
+  /// Broadcast to a recipient list (skipping `from` itself).
+  void multicast(NodeId from, const std::vector<NodeId>& to, const Payload& payload,
+                 std::size_t bytes, const std::string& category) {
+    for (const NodeId dest : to) {
+      if (dest == from) continue;
+      send(from, dest, payload, bytes, category);
+    }
+  }
+
+  [[nodiscard]] const MessageStats& stats() const { return stats_; }
+  [[nodiscard]] MessageStats& stats() { return stats_; }
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+  [[nodiscard]] const LinkModel& link_model() const { return model_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+ private:
+  sim::Simulator& sim_;
+  const Topology& topo_;
+  LinkModel model_;
+  std::vector<Handler> handlers_;
+  Interceptor interceptor_;
+  MessageStats stats_;
+};
+
+}  // namespace curb::net

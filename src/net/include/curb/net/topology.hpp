@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "curb/net/geo.hpp"
+
+namespace curb::net {
+
+/// Opaque node identifier within a Topology (dense, 0-based).
+struct NodeId {
+  std::uint32_t value = 0;
+
+  constexpr auto operator<=>(const NodeId&) const = default;
+};
+
+enum class NodeKind : std::uint8_t { kController, kSwitch, kHost };
+
+[[nodiscard]] constexpr std::string_view to_string(NodeKind k) {
+  switch (k) {
+    case NodeKind::kController: return "controller";
+    case NodeKind::kSwitch: return "switch";
+    case NodeKind::kHost: return "host";
+  }
+  return "?";
+}
+
+/// Undirected weighted graph of network sites with all-pairs shortest paths.
+/// Replaces the paper's NetworkX usage: shortest path lengths feed the link
+/// delay model, and shortest paths themselves become the flow rules that
+/// controllers push to switches.
+class Topology {
+ public:
+  struct Node {
+    std::string name;
+    NodeKind kind;
+    GeoPoint location;
+  };
+  struct Link {
+    NodeId a;
+    NodeId b;
+    double length_km;
+  };
+
+  NodeId add_node(std::string name, NodeKind kind, GeoPoint location);
+  /// Add an undirected link; length defaults to the great-circle distance.
+  void add_link(NodeId a, NodeId b, std::optional<double> length_km = std::nullopt);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+  [[nodiscard]] std::optional<NodeId> find_by_name(std::string_view name) const;
+  [[nodiscard]] std::vector<NodeId> nodes_of_kind(NodeKind kind) const;
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId id) const;
+  [[nodiscard]] bool connected() const;
+
+  /// Shortest-path distance in km over the link graph (Dijkstra, cached).
+  /// Returns infinity when no path exists.
+  [[nodiscard]] double distance_km(NodeId from, NodeId to) const;
+  /// The node sequence of a shortest path (inclusive of endpoints).
+  /// Empty when unreachable; {from} when from == to.
+  [[nodiscard]] std::vector<NodeId> shortest_path(NodeId from, NodeId to) const;
+
+  static constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+ private:
+  struct Adjacent {
+    std::uint32_t node;
+    double length_km;
+  };
+  void ensure_paths_from(std::uint32_t src) const;
+  void check(NodeId id) const;
+
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<Adjacent>> adjacency_;
+  // Lazy Dijkstra cache, invalidated on mutation.
+  mutable std::vector<std::vector<double>> dist_;
+  mutable std::vector<std::vector<std::uint32_t>> prev_;
+  mutable std::vector<bool> dist_valid_;
+};
+
+/// The Internet2-style evaluation topology from the paper's Fig. 3:
+/// 16 controller sites and 34 switch sites at real Internet2 member cities,
+/// links following the fibre footprint. Deterministic.
+[[nodiscard]] Topology internet2();
+
+/// Names of the controller sites in `internet2()`, in id order.
+[[nodiscard]] const std::vector<std::string>& internet2_controller_cities();
+/// Names of the switch sites in `internet2()`, in id order.
+[[nodiscard]] const std::vector<std::string>& internet2_switch_cities();
+
+/// Synthetic geographic topology for scalability sweeps beyond Internet2's
+/// size: nodes uniformly placed on a grid-ish region, connected by a random
+/// geometric graph plus a spanning backbone so the result is connected.
+[[nodiscard]] Topology random_geo_topology(std::size_t controllers, std::size_t switches,
+                                           std::uint64_t seed);
+
+}  // namespace curb::net

@@ -1,0 +1,176 @@
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "curb/net/topology.hpp"
+#include "curb/sim/rng.hpp"
+
+namespace curb::net {
+
+namespace {
+
+struct City {
+  const char* name;
+  double lat;
+  double lon;
+};
+
+// 16 controller sites: the Internet2 backbone hub cities.
+constexpr City kControllerCities[] = {
+    {"Seattle", 47.61, -122.33},      {"Sunnyvale", 37.37, -122.04},
+    {"LosAngeles", 34.05, -118.24},   {"SaltLakeCity", 40.76, -111.89},
+    {"Denver", 39.74, -104.99},       {"KansasCity", 39.10, -94.58},
+    {"Dallas", 32.78, -96.80},        {"Houston", 29.76, -95.37},
+    {"Chicago", 41.88, -87.63},       {"Indianapolis", 39.77, -86.16},
+    {"Atlanta", 33.75, -84.39},       {"WashingtonDC", 38.91, -77.04},
+    {"NewYork", 40.71, -74.01},       {"Boston", 42.36, -71.06},
+    {"Nashville", 36.16, -86.78},     {"Minneapolis", 44.98, -93.27},
+};
+
+// 34 switch sites: regional member cities hanging off the backbone.
+constexpr City kSwitchCities[] = {
+    {"Portland", 45.52, -122.68},     {"Sacramento", 38.58, -121.49},
+    {"SanDiego", 32.72, -117.16},     {"LasVegas", 36.17, -115.14},
+    {"Phoenix", 33.45, -112.07},      {"Tucson", 32.22, -110.97},
+    {"Albuquerque", 35.08, -106.65},  {"ElPaso", 31.76, -106.49},
+    {"Boise", 43.62, -116.21},        {"Missoula", 46.87, -113.99},
+    {"Billings", 45.78, -108.50},     {"Bismarck", 46.81, -100.78},
+    {"Fargo", 46.88, -96.79},         {"SiouxFalls", 43.55, -96.73},
+    {"Omaha", 41.26, -95.93},         {"Tulsa", 36.15, -95.99},
+    {"OklahomaCity", 35.47, -97.52},  {"LittleRock", 34.75, -92.29},
+    {"Memphis", 35.15, -90.05},       {"StLouis", 38.63, -90.20},
+    {"Louisville", 38.25, -85.76},    {"Cincinnati", 39.10, -84.51},
+    {"Columbus", 39.96, -83.00},      {"Cleveland", 41.50, -81.69},
+    {"Pittsburgh", 40.44, -80.00},    {"Buffalo", 42.89, -78.88},
+    {"Syracuse", 43.05, -76.15},      {"Albany", 42.65, -73.75},
+    {"Philadelphia", 39.95, -75.17},  {"Baltimore", 39.29, -76.61},
+    {"Raleigh", 35.78, -78.64},       {"Charlotte", 35.23, -80.84},
+    {"Jacksonville", 30.33, -81.66},  {"Miami", 25.76, -80.19},
+};
+
+// Links following the Internet2 fibre footprint (by city name).
+constexpr std::pair<const char*, const char*> kLinks[] = {
+    // Pacific / Northwest
+    {"Seattle", "Portland"},       {"Portland", "Sacramento"},
+    {"Sacramento", "Sunnyvale"},   {"Sunnyvale", "LosAngeles"},
+    {"LosAngeles", "SanDiego"},    {"LosAngeles", "LasVegas"},
+    {"LasVegas", "SaltLakeCity"},  {"Sacramento", "SaltLakeCity"},
+    {"Seattle", "Boise"},          {"Boise", "SaltLakeCity"},
+    {"Seattle", "Missoula"},       {"Missoula", "Billings"},
+    // Southwest
+    {"SanDiego", "Phoenix"},       {"Phoenix", "Tucson"},
+    {"Tucson", "ElPaso"},          {"Phoenix", "Albuquerque"},
+    {"Albuquerque", "ElPaso"},     {"Albuquerque", "Denver"},
+    {"ElPaso", "Houston"},
+    // Mountain / Plains
+    {"Billings", "Bismarck"},      {"Bismarck", "Fargo"},
+    {"Fargo", "Minneapolis"},      {"Billings", "Denver"},
+    {"SaltLakeCity", "Denver"},    {"Denver", "KansasCity"},
+    {"KansasCity", "Omaha"},       {"Omaha", "SiouxFalls"},
+    {"SiouxFalls", "Minneapolis"}, {"Minneapolis", "Chicago"},
+    {"KansasCity", "Chicago"},     {"KansasCity", "Tulsa"},
+    {"Tulsa", "OklahomaCity"},     {"OklahomaCity", "Dallas"},
+    {"Dallas", "Houston"},         {"Dallas", "LittleRock"},
+    {"LittleRock", "Memphis"},     {"KansasCity", "StLouis"},
+    // South / East
+    {"Houston", "Atlanta"},        {"Memphis", "Nashville"},
+    {"StLouis", "Memphis"},        {"StLouis", "Indianapolis"},
+    {"Chicago", "Indianapolis"},   {"Indianapolis", "Cincinnati"},
+    {"Indianapolis", "Louisville"},{"Louisville", "Nashville"},
+    {"Nashville", "Atlanta"},      {"Cincinnati", "Columbus"},
+    {"Columbus", "Cleveland"},     {"Columbus", "Pittsburgh"},
+    {"Cleveland", "Chicago"},      {"Cleveland", "Buffalo"},
+    {"Buffalo", "Syracuse"},       {"Syracuse", "Albany"},
+    {"Albany", "Boston"},          {"Albany", "NewYork"},
+    {"Pittsburgh", "WashingtonDC"},{"Philadelphia", "NewYork"},
+    {"Philadelphia", "Baltimore"}, {"Baltimore", "WashingtonDC"},
+    {"Pittsburgh", "Philadelphia"},{"WashingtonDC", "Raleigh"},
+    {"Raleigh", "Charlotte"},      {"Charlotte", "Atlanta"},
+    {"Atlanta", "Jacksonville"},   {"Jacksonville", "Miami"},
+    {"NewYork", "Boston"},
+};
+
+}  // namespace
+
+Topology internet2() {
+  Topology topo;
+  for (const City& c : kControllerCities) {
+    topo.add_node(c.name, NodeKind::kController, GeoPoint{c.lat, c.lon});
+  }
+  for (const City& c : kSwitchCities) {
+    topo.add_node(c.name, NodeKind::kSwitch, GeoPoint{c.lat, c.lon});
+  }
+  for (const auto& [a, b] : kLinks) {
+    const auto ia = topo.find_by_name(a);
+    const auto ib = topo.find_by_name(b);
+    if (!ia || !ib) throw std::logic_error{"internet2: unknown city in link table"};
+    topo.add_link(*ia, *ib);
+  }
+  return topo;
+}
+
+const std::vector<std::string>& internet2_controller_cities() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const City& c : kControllerCities) out.emplace_back(c.name);
+    return out;
+  }();
+  return names;
+}
+
+const std::vector<std::string>& internet2_switch_cities() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const City& c : kSwitchCities) out.emplace_back(c.name);
+    return out;
+  }();
+  return names;
+}
+
+Topology random_geo_topology(std::size_t controllers, std::size_t switches,
+                             std::uint64_t seed) {
+  sim::Rng rng{seed};
+  Topology topo;
+  const std::size_t total = controllers + switches;
+  for (std::size_t i = 0; i < total; ++i) {
+    const NodeKind kind = i < controllers ? NodeKind::kController : NodeKind::kSwitch;
+    const std::string name =
+        (kind == NodeKind::kController ? "ctl-" : "sw-") +
+        std::to_string(kind == NodeKind::kController ? i : i - controllers);
+    // Continental-US-like bounding box.
+    const GeoPoint loc{rng.next_double_in(25.0, 48.0), rng.next_double_in(-124.0, -67.0)};
+    topo.add_node(name, kind, loc);
+  }
+  if (total < 2) return topo;
+
+  // Backbone: chain nodes sorted by longitude so the graph is connected.
+  std::vector<std::uint32_t> order(total);
+  for (std::uint32_t i = 0; i < total; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return topo.node(NodeId{a}).location.lon_deg < topo.node(NodeId{b}).location.lon_deg;
+  });
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    topo.add_link(NodeId{order[i]}, NodeId{order[i + 1]});
+  }
+
+  // Enrichment: each node links to its geographically nearest non-neighbor.
+  for (std::uint32_t i = 0; i < total; ++i) {
+    double best = Topology::kUnreachable;
+    std::uint32_t best_j = i;
+    const auto nbrs = topo.neighbors(NodeId{i});
+    for (std::uint32_t j = 0; j < total; ++j) {
+      if (j == i) continue;
+      if (std::find(nbrs.begin(), nbrs.end(), NodeId{j}) != nbrs.end()) continue;
+      const double d =
+          great_circle_km(topo.node(NodeId{i}).location, topo.node(NodeId{j}).location);
+      if (d < best) {
+        best = d;
+        best_j = j;
+      }
+    }
+    if (best_j != i) topo.add_link(NodeId{i}, NodeId{best_j});
+  }
+  return topo;
+}
+
+}  // namespace curb::net

@@ -1,0 +1,143 @@
+#include "curb/net/topology.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace curb::net {
+
+NodeId Topology::add_node(std::string name, NodeKind kind, GeoPoint location) {
+  const NodeId id{static_cast<std::uint32_t>(nodes_.size())};
+  nodes_.push_back(Node{std::move(name), kind, location});
+  adjacency_.emplace_back();
+  dist_.clear();
+  dist_valid_.clear();
+  prev_.clear();
+  return id;
+}
+
+void Topology::add_link(NodeId a, NodeId b, std::optional<double> length_km) {
+  check(a);
+  check(b);
+  if (a == b) throw std::invalid_argument{"Topology: self-link"};
+  const double len =
+      length_km.value_or(great_circle_km(nodes_[a.value].location, nodes_[b.value].location));
+  if (len < 0) throw std::invalid_argument{"Topology: negative link length"};
+  links_.push_back(Link{a, b, len});
+  adjacency_[a.value].push_back({b.value, len});
+  adjacency_[b.value].push_back({a.value, len});
+  dist_.clear();
+  dist_valid_.clear();
+  prev_.clear();
+}
+
+const Topology::Node& Topology::node(NodeId id) const {
+  check(id);
+  return nodes_[id.value];
+}
+
+std::optional<NodeId> Topology::find_by_name(std::string_view name) const {
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return NodeId{i};
+  }
+  return std::nullopt;
+}
+
+std::vector<NodeId> Topology::nodes_of_kind(NodeKind kind) const {
+  std::vector<NodeId> out;
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind == kind) out.push_back(NodeId{i});
+  }
+  return out;
+}
+
+std::vector<NodeId> Topology::neighbors(NodeId id) const {
+  check(id);
+  std::vector<NodeId> out;
+  out.reserve(adjacency_[id.value].size());
+  for (const auto& adj : adjacency_[id.value]) out.push_back(NodeId{adj.node});
+  return out;
+}
+
+bool Topology::connected() const {
+  if (nodes_.empty()) return true;
+  std::vector<bool> seen(nodes_.size(), false);
+  std::queue<std::uint32_t> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!frontier.empty()) {
+    const std::uint32_t cur = frontier.front();
+    frontier.pop();
+    for (const auto& adj : adjacency_[cur]) {
+      if (!seen[adj.node]) {
+        seen[adj.node] = true;
+        ++visited;
+        frontier.push(adj.node);
+      }
+    }
+  }
+  return visited == nodes_.size();
+}
+
+void Topology::ensure_paths_from(std::uint32_t src) const {
+  if (dist_valid_.size() != nodes_.size()) {
+    dist_valid_.assign(nodes_.size(), false);
+    dist_.assign(nodes_.size(), {});
+    prev_.assign(nodes_.size(), {});
+  }
+  if (dist_valid_[src]) return;
+
+  auto& dist = dist_[src];
+  auto& prev = prev_[src];
+  dist.assign(nodes_.size(), kUnreachable);
+  prev.assign(nodes_.size(), std::numeric_limits<std::uint32_t>::max());
+  dist[src] = 0.0;
+
+  using Entry = std::pair<double, std::uint32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.push({0.0, src});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    for (const auto& adj : adjacency_[u]) {
+      const double nd = d + adj.length_km;
+      if (nd < dist[adj.node]) {
+        dist[adj.node] = nd;
+        prev[adj.node] = u;
+        heap.push({nd, adj.node});
+      }
+    }
+  }
+  dist_valid_[src] = true;
+}
+
+double Topology::distance_km(NodeId from, NodeId to) const {
+  check(from);
+  check(to);
+  ensure_paths_from(from.value);
+  return dist_[from.value][to.value];
+}
+
+std::vector<NodeId> Topology::shortest_path(NodeId from, NodeId to) const {
+  check(from);
+  check(to);
+  ensure_paths_from(from.value);
+  if (dist_[from.value][to.value] == kUnreachable) return {};
+  std::vector<NodeId> path;
+  std::uint32_t cur = to.value;
+  while (cur != from.value) {
+    path.push_back(NodeId{cur});
+    cur = prev_[from.value][cur];
+  }
+  path.push_back(from);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+void Topology::check(NodeId id) const {
+  if (id.value >= nodes_.size()) throw std::out_of_range{"Topology: bad NodeId"};
+}
+
+}  // namespace curb::net

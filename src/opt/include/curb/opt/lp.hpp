@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace curb::opt {
+
+/// Linear program in the form
+///   minimize  c^T x
+///   subject to  a_k^T x (<=|>=|=) b_k          for each constraint k
+///               lb_j <= x_j <= ub_j            for each variable j
+///
+/// This (plus the branch-and-bound layer on top) replaces the Gurobi solver
+/// the paper used for its OP() controller-assignment programs.
+class LpProblem {
+ public:
+  enum class Sense { kLe, kGe, kEq };
+
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  /// Add a variable; returns its index.
+  int add_variable(double cost, double lower = 0.0, double upper = kInf);
+  /// Add a constraint over (variable, coefficient) terms.
+  void add_constraint(std::vector<std::pair<int, double>> terms, Sense sense, double rhs);
+
+  [[nodiscard]] std::size_t num_variables() const { return cost_.size(); }
+  [[nodiscard]] std::size_t num_constraints() const { return rows_.size(); }
+
+  [[nodiscard]] double cost(int j) const { return cost_[static_cast<std::size_t>(j)]; }
+  [[nodiscard]] double lower(int j) const { return lower_[static_cast<std::size_t>(j)]; }
+  [[nodiscard]] double upper(int j) const { return upper_[static_cast<std::size_t>(j)]; }
+  void set_bounds(int j, double lower, double upper);
+
+  struct Row {
+    std::vector<std::pair<int, double>> terms;
+    Sense sense;
+    double rhs;
+  };
+  [[nodiscard]] const Row& row(std::size_t k) const { return rows_[k]; }
+
+ private:
+  std::vector<double> cost_;
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<Row> rows_;
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+[[nodiscard]] constexpr const char* to_string(LpStatus s) {
+  switch (s) {
+    case LpStatus::kOptimal: return "optimal";
+    case LpStatus::kInfeasible: return "infeasible";
+    case LpStatus::kUnbounded: return "unbounded";
+    case LpStatus::kIterationLimit: return "iteration-limit";
+  }
+  return "?";
+}
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> values;
+  std::size_t iterations = 0;
+};
+
+/// Solve with a two-phase primal simplex supporting variable bounds
+/// (nonbasic variables rest at either bound; the ratio test allows bound
+/// flips). Dense tableau; adequate for the paper-scale CAP instances.
+[[nodiscard]] LpSolution solve_lp(const LpProblem& problem,
+                                  std::size_t max_iterations = 50'000);
+
+}  // namespace curb::opt

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "curb/opt/lp.hpp"
+
+namespace curb::opt {
+
+/// Mixed-integer solution and solver statistics.
+struct MilpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> values;
+  std::size_t nodes_explored = 0;
+  std::size_t lp_iterations = 0;
+  bool hit_node_limit = false;
+  bool hit_time_limit = false;
+};
+
+struct MilpOptions {
+  std::size_t max_nodes = 200'000;
+  std::size_t max_lp_iterations_per_node = 50'000;
+  /// Wall-clock budget in milliseconds (0 = unlimited). When exceeded the
+  /// search stops and returns the incumbent found so far.
+  double max_wall_ms = 0.0;
+  /// Optional warm-start incumbent objective (e.g. from a greedy heuristic):
+  /// nodes whose LP bound cannot beat it are pruned immediately. When set,
+  /// solve() only returns solutions STRICTLY better than this value — a
+  /// kInfeasible result then means "keep your heuristic solution".
+  std::optional<double> incumbent_objective;
+  /// When all objective coefficients are integral, bounds can be rounded up
+  /// before pruning, cutting the tree substantially. Detected automatically;
+  /// this flag force-disables the optimization.
+  bool assume_integral_objective = true;
+};
+
+/// Branch-and-bound over LP relaxations for problems whose integer
+/// variables are binary (0/1) — which covers every OP() program in the
+/// paper (A_ij and x_j are all binary). Branching fixes a fractional
+/// variable to 0 / 1 via bounds; depth-first with best-bound tie-breaking.
+class MilpSolver {
+ public:
+  explicit MilpSolver(LpProblem problem) : problem_{std::move(problem)} {}
+
+  /// Mark a variable as integer (must have bounds within [0, 1]).
+  void set_binary(int var);
+  void set_binary(const std::vector<int>& vars);
+
+  /// Variables to branch on first while any of them is fractional. For
+  /// covering-style models (like CAP) branching the "is this controller
+  /// used" x_j variables before the A_ij assignment variables collapses the
+  /// tree by orders of magnitude.
+  void set_branch_priority(const std::vector<int>& vars);
+
+  [[nodiscard]] MilpSolution solve(const MilpOptions& options = {});
+
+ private:
+  LpProblem problem_;
+  std::vector<int> binaries_;
+  std::vector<int> priority_;
+};
+
+}  // namespace curb::opt

@@ -1,0 +1,107 @@
+#include "curb/sdn/flow.hpp"
+
+#include <algorithm>
+
+#include "curb/chain/serial.hpp"
+
+namespace curb::sdn {
+
+std::vector<std::uint8_t> FlowEntry::serialize() const {
+  chain::ByteWriter w;
+  w.u32(match.dst_host);
+  w.u32(match.src_host);
+  w.u8(static_cast<std::uint8_t>(action.kind));
+  w.u32(action.out_port);
+  w.u16(priority);
+  w.u8(hard_expiry.has_value() ? 1 : 0);
+  if (hard_expiry) w.u64(static_cast<std::uint64_t>(hard_expiry->as_micros()));
+  return w.take();
+}
+
+FlowEntry FlowEntry::deserialize(std::span<const std::uint8_t> bytes) {
+  chain::ByteReader r{bytes};
+  FlowEntry e;
+  e.match.dst_host = r.u32();
+  e.match.src_host = r.u32();
+  e.action.kind = static_cast<FlowAction::Kind>(r.u8());
+  e.action.out_port = r.u32();
+  e.priority = r.u16();
+  if (r.u8() != 0) {
+    e.hard_expiry = sim::SimTime::micros(static_cast<std::int64_t>(r.u64()));
+  }
+  return e;
+}
+
+std::vector<std::uint8_t> FlowEntry::serialize_list(const std::vector<FlowEntry>& entries) {
+  chain::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const FlowEntry& e : entries) w.bytes(e.serialize());
+  return w.take();
+}
+
+std::vector<FlowEntry> FlowEntry::deserialize_list(std::span<const std::uint8_t> bytes) {
+  chain::ByteReader r{bytes};
+  const std::uint32_t count = r.u32();
+  if (count > r.remaining() / 4) {
+    throw std::invalid_argument{"flow entry list count too large"};
+  }
+  std::vector<FlowEntry> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto entry_bytes = r.bytes();
+    out.push_back(FlowEntry::deserialize(entry_bytes));
+  }
+  return out;
+}
+
+void FlowTable::install(FlowEntry entry) {
+  const auto it = std::find_if(entries_.begin(), entries_.end(), [&](const FlowEntry& e) {
+    return e.match == entry.match && e.priority == entry.priority;
+  });
+  if (it != entries_.end()) {
+    *it = std::move(entry);
+    return;
+  }
+  // Insert keeping descending priority; stable among equal priorities so
+  // earlier installs win ties (OpenFlow leaves ties undefined; we pin them
+  // for determinism).
+  const auto pos = std::find_if(entries_.begin(), entries_.end(), [&](const FlowEntry& e) {
+    return e.priority < entry.priority;
+  });
+  entries_.insert(pos, std::move(entry));
+}
+
+std::size_t FlowTable::remove(const FlowMatch& match) {
+  const auto before = entries_.size();
+  std::erase_if(entries_, [&](const FlowEntry& e) { return e.match == match; });
+  return before - entries_.size();
+}
+
+FlowEntry* FlowTable::lookup(const Packet& packet, sim::SimTime now) {
+  for (FlowEntry& e : entries_) {
+    if (e.hard_expiry && *e.hard_expiry <= now) continue;
+    if (e.match.matches(packet)) {
+      ++e.packet_count;
+      e.byte_count += packet.size_bytes;
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+const FlowEntry* FlowTable::peek(const Packet& packet, sim::SimTime now) const {
+  for (const FlowEntry& e : entries_) {
+    if (e.hard_expiry && *e.hard_expiry <= now) continue;
+    if (e.match.matches(packet)) return &e;
+  }
+  return nullptr;
+}
+
+std::size_t FlowTable::expire(sim::SimTime now) {
+  const auto before = entries_.size();
+  std::erase_if(entries_,
+                [&](const FlowEntry& e) { return e.hard_expiry && *e.hard_expiry <= now; });
+  return before - entries_.size();
+}
+
+}  // namespace curb::sdn

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "curb/sim/time.hpp"
+
+namespace curb::sdn {
+
+/// A data-plane packet. Routing in the reproduction is destination-based
+/// (the paper computes shortest paths with NetworkX and installs them as
+/// flow rules), so the match key is the destination host.
+struct Packet {
+  std::uint32_t src_host = 0;
+  std::uint32_t dst_host = 0;
+  std::uint64_t id = 0;
+  std::uint32_t size_bytes = 1500;
+
+  bool operator==(const Packet&) const = default;
+};
+
+/// Match criteria for a flow entry. kAny matches every packet (table-miss
+/// entries use the lowest priority with a wildcard match). `src_host` is
+/// declared after `dst_host` so the common destination-based rule can be
+/// brace-initialised as FlowMatch{dst}; source matching exists for policy
+/// (drop) rules that must hit one host pair only.
+struct FlowMatch {
+  static constexpr std::uint32_t kAny = 0xffffffff;
+  std::uint32_t dst_host = kAny;
+  std::uint32_t src_host = kAny;
+
+  [[nodiscard]] bool matches(const Packet& p) const {
+    return (dst_host == kAny || dst_host == p.dst_host) &&
+           (src_host == kAny || src_host == p.src_host);
+  }
+  bool operator==(const FlowMatch&) const = default;
+};
+
+/// Forwarding action: emit on a port (ports map to adjacent nodes at the
+/// switch), deliver locally (the destination host hangs off this switch),
+/// or punt to the controller (table-miss behaviour).
+struct FlowAction {
+  enum class Kind : std::uint8_t { kForward, kDeliver, kToController, kDrop };
+  Kind kind = Kind::kToController;
+  std::uint32_t out_port = 0;
+
+  bool operator==(const FlowAction&) const = default;
+};
+
+/// One flow rule with OpenFlow-style priority, counters, and hard timeout.
+struct FlowEntry {
+  FlowMatch match;
+  FlowAction action;
+  std::uint16_t priority = 0;
+  /// Absolute expiry (virtual time); nullopt = permanent.
+  std::optional<sim::SimTime> hard_expiry;
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+
+  /// Serialized config payload for transactions / REPLY messages.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static FlowEntry deserialize(std::span<const std::uint8_t> bytes);
+  [[nodiscard]] static std::vector<std::uint8_t> serialize_list(
+      const std::vector<FlowEntry>& entries);
+  [[nodiscard]] static std::vector<FlowEntry> deserialize_list(
+      std::span<const std::uint8_t> bytes);
+
+  /// Equality of the rule itself (counters excluded).
+  [[nodiscard]] bool same_rule(const FlowEntry& other) const {
+    return match == other.match && action == other.action && priority == other.priority;
+  }
+};
+
+/// Priority-ordered flow table with counters and expiry.
+class FlowTable {
+ public:
+  /// Install or replace (same match+priority replaces; counters reset).
+  void install(FlowEntry entry);
+  /// Remove entries matching `match` at any priority. Returns count removed.
+  std::size_t remove(const FlowMatch& match);
+  /// Highest-priority live entry matching the packet; bumps counters.
+  [[nodiscard]] FlowEntry* lookup(const Packet& packet, sim::SimTime now);
+  /// Match without mutating counters (inspection).
+  [[nodiscard]] const FlowEntry* peek(const Packet& packet, sim::SimTime now) const;
+  /// Drop expired entries; returns count evicted.
+  std::size_t expire(sim::SimTime now);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<FlowEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<FlowEntry> entries_;  // kept sorted by descending priority
+};
+
+}  // namespace curb::sdn

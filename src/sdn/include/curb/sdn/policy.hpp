@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "curb/sdn/flow.hpp"
+
+namespace curb::sdn {
+
+/// A northbound network policy rule: application services (the paper's
+/// upper layer) restrict or permit host-to-host communication. Matching is
+/// on (src, dst) with kAny wildcards; higher priority wins, ties go to the
+/// earlier rule; the default (no match) is allow.
+struct PolicyRule {
+  static constexpr std::uint32_t kAny = 0xffffffff;
+
+  enum class Action : std::uint8_t { kAllow = 0, kDeny = 1 };
+
+  std::uint32_t src_host = kAny;
+  std::uint32_t dst_host = kAny;
+  Action action = Action::kDeny;
+  std::uint16_t priority = 0;
+
+  [[nodiscard]] bool matches(std::uint32_t src, std::uint32_t dst) const {
+    return (src_host == kAny || src_host == src) && (dst_host == kAny || dst_host == dst);
+  }
+  bool operator==(const PolicyRule&) const = default;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static PolicyRule deserialize(std::span<const std::uint8_t> bytes);
+};
+
+/// Ordered policy rule set, replicated at every controller through the
+/// blockchain (policy updates are transactions; see chain::RequestType).
+/// Controllers consult it in ComputeConfig: a denied pair yields a drop
+/// flow entry instead of a forwarding rule.
+class PolicyTable {
+ public:
+  /// Install a rule (append; duplicates by value replace in place).
+  void install(const PolicyRule& rule);
+  /// Remove rules equal to `rule` (exact match). Returns count removed.
+  std::size_t remove(const PolicyRule& rule);
+
+  /// Decide for a (src, dst) pair: highest-priority matching rule wins;
+  /// default allow.
+  [[nodiscard]] PolicyRule::Action decide(std::uint32_t src, std::uint32_t dst) const;
+  [[nodiscard]] bool allows(std::uint32_t src, std::uint32_t dst) const {
+    return decide(src, dst) == PolicyRule::Action::kAllow;
+  }
+
+  [[nodiscard]] std::size_t size() const { return rules_.size(); }
+  [[nodiscard]] const std::vector<PolicyRule>& rules() const { return rules_; }
+  bool operator==(const PolicyTable&) const = default;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static PolicyTable deserialize(std::span<const std::uint8_t> bytes);
+
+ private:
+  std::vector<PolicyRule> rules_;
+};
+
+}  // namespace curb::sdn

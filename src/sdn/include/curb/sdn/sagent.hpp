@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "curb/chain/transaction.hpp"
+#include "curb/sim/simulator.hpp"
+#include "curb/sim/time.hpp"
+
+namespace curb::sdn {
+
+/// A request as broadcast by a switch to its controller group (Algorithm 1
+/// line 2): the reqMsg tuple plus a per-switch sequence number used to match
+/// replies.
+struct RequestMsg {
+  chain::RequestType type = chain::RequestType::kPacketIn;
+  std::uint32_t switch_id = 0;
+  std::uint64_t request_id = 0;
+  /// PKT-IN: serialized packet info; RE-ASS: serialized byzantine id list.
+  std::vector<std::uint8_t> payload;
+
+  bool operator==(const RequestMsg&) const = default;
+  [[nodiscard]] std::size_t wire_size() const { return 1 + 4 + 8 + 4 + payload.size(); }
+};
+
+/// Why the s-agent flagged a controller as byzantine.
+enum class ByzantineReason : std::uint8_t {
+  kTimeout,            // no reply within the reply timeout (paper exp. 1/2)
+  kConflictingConfig,  // reply contradicts the f+1 agreed config
+  kLazy,               // consistently slow for max_lazy_rounds rounds (exp. 3)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ByzantineReason r) {
+  switch (r) {
+    case ByzantineReason::kTimeout: return "timeout";
+    case ByzantineReason::kConflictingConfig: return "conflicting-config";
+    case ByzantineReason::kLazy: return "lazy";
+  }
+  return "?";
+}
+
+/// The switch-side agent of Algorithm 1. Broadcasts requests to the
+/// controller group, collects REPLY messages in R_s, accepts a config once
+/// f+1 identical replies arrive, and detects byzantine controllers three
+/// ways: non-response within timeout, conflicting configs, and sustained
+/// laziness (response time above threshold for max_lazy_rounds consecutive
+/// rounds — the paper's experiment 3 policy).
+class SAgent {
+ public:
+  struct Config {
+    std::uint32_t switch_id = 0;
+    std::size_t f = 1;
+    sim::SimTime reply_timeout = sim::SimTime::millis(500);
+    sim::SimTime lazy_threshold = sim::SimTime::millis(200);
+    std::size_t max_lazy_rounds = 5;
+    /// Consecutive timed-out rounds before a non-replying controller is
+    /// reported byzantine (the paper's experiment 1 waits several rounds
+    /// before declaring a node byzantine; 1 = report on first miss).
+    std::size_t max_silent_rounds = 1;
+  };
+
+  using BroadcastFn = std::function<void(const RequestMsg&)>;
+  using AcceptFn =
+      std::function<void(const RequestMsg&, const std::vector<std::uint8_t>& config)>;
+  using ByzantineFn =
+      std::function<void(const std::vector<std::uint32_t>& controllers, ByzantineReason)>;
+
+  SAgent(Config config, sim::Simulator& sim, BroadcastFn broadcast, AcceptFn accept,
+         ByzantineFn report_byzantine);
+
+  /// Install / replace the controller group (ctrList_s). Initial assignment
+  /// comes from OP() at Step 0; updates arrive via accepted RE-ASS configs.
+  /// `leader` (if given) is blamed when a request times out with NO replies
+  /// at all — total silence implicates the node responsible for driving
+  /// consensus, not the whole group.
+  void set_controller_group(std::vector<std::uint32_t> group,
+                            std::optional<std::uint32_t> leader = std::nullopt);
+  [[nodiscard]] std::optional<std::uint32_t> group_leader() const { return leader_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& controller_group() const { return group_; }
+
+  /// Broadcast a request to the controller group; returns its request id.
+  std::uint64_t send_request(chain::RequestType type, std::vector<std::uint8_t> payload);
+
+  /// Feed a REPLY from controller `controller_id`.
+  void on_reply(std::uint32_t controller_id, std::uint64_t request_id,
+                std::span<const std::uint8_t> config);
+
+  [[nodiscard]] std::size_t pending_requests() const { return pending_.size(); }
+  [[nodiscard]] std::uint64_t accepted_count() const { return accepted_; }
+  /// Consecutive lazy rounds currently recorded against a controller.
+  [[nodiscard]] std::size_t lazy_rounds(std::uint32_t controller_id) const;
+  /// Consecutive silent (timed-out) rounds recorded against a controller.
+  [[nodiscard]] std::size_t silent_rounds(std::uint32_t controller_id) const;
+
+ private:
+  struct PendingRequest {
+    RequestMsg msg;
+    sim::SimTime sent_at;
+    // controller -> config bytes (first reply only; duplicates ignored)
+    std::map<std::uint32_t, std::vector<std::uint8_t>> replies;
+    std::optional<std::vector<std::uint8_t>> accepted_config;
+    sim::EventHandle timeout;
+  };
+
+  void try_accept(PendingRequest& req);
+  void on_timeout(std::uint64_t request_id);
+  void record_latency(std::uint32_t controller_id, sim::SimTime latency);
+
+  Config config_;
+  sim::Simulator& sim_;
+  BroadcastFn broadcast_;
+  AcceptFn accept_;
+  ByzantineFn report_byzantine_;
+
+  std::vector<std::uint32_t> group_;
+  std::optional<std::uint32_t> leader_;
+  std::map<std::uint64_t, PendingRequest> pending_;
+  std::map<std::uint32_t, std::size_t> lazy_counts_;
+  std::map<std::uint32_t, std::size_t> silent_counts_;
+  std::uint64_t next_request_id_ = 1;
+  std::uint64_t accepted_ = 0;
+};
+
+}  // namespace curb::sdn

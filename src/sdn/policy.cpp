@@ -1,0 +1,73 @@
+#include "curb/sdn/policy.hpp"
+
+#include <algorithm>
+
+#include "curb/chain/serial.hpp"
+
+namespace curb::sdn {
+
+std::vector<std::uint8_t> PolicyRule::serialize() const {
+  chain::ByteWriter w;
+  w.u32(src_host);
+  w.u32(dst_host);
+  w.u8(static_cast<std::uint8_t>(action));
+  w.u16(priority);
+  return w.take();
+}
+
+PolicyRule PolicyRule::deserialize(std::span<const std::uint8_t> bytes) {
+  chain::ByteReader r{bytes};
+  PolicyRule rule;
+  rule.src_host = r.u32();
+  rule.dst_host = r.u32();
+  rule.action = static_cast<Action>(r.u8());
+  rule.priority = r.u16();
+  return rule;
+}
+
+void PolicyTable::install(const PolicyRule& rule) {
+  const auto it = std::find_if(rules_.begin(), rules_.end(), [&](const PolicyRule& r) {
+    return r.src_host == rule.src_host && r.dst_host == rule.dst_host &&
+           r.priority == rule.priority;
+  });
+  if (it != rules_.end()) {
+    *it = rule;  // same match + priority: replace the action
+    return;
+  }
+  rules_.push_back(rule);
+}
+
+std::size_t PolicyTable::remove(const PolicyRule& rule) {
+  const auto before = rules_.size();
+  std::erase(rules_, rule);
+  return before - rules_.size();
+}
+
+PolicyRule::Action PolicyTable::decide(std::uint32_t src, std::uint32_t dst) const {
+  const PolicyRule* best = nullptr;
+  for (const PolicyRule& r : rules_) {
+    if (!r.matches(src, dst)) continue;
+    if (best == nullptr || r.priority > best->priority) best = &r;
+  }
+  return best == nullptr ? PolicyRule::Action::kAllow : best->action;
+}
+
+std::vector<std::uint8_t> PolicyTable::serialize() const {
+  chain::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(rules_.size()));
+  for (const PolicyRule& r : rules_) w.bytes(r.serialize());
+  return w.take();
+}
+
+PolicyTable PolicyTable::deserialize(std::span<const std::uint8_t> bytes) {
+  chain::ByteReader r{bytes};
+  PolicyTable table;
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto rule_bytes = r.bytes();
+    table.rules_.push_back(PolicyRule::deserialize(rule_bytes));
+  }
+  return table;
+}
+
+}  // namespace curb::sdn

@@ -1,0 +1,152 @@
+#include "curb/sdn/sagent.hpp"
+
+#include <algorithm>
+
+namespace curb::sdn {
+
+SAgent::SAgent(Config config, sim::Simulator& sim, BroadcastFn broadcast, AcceptFn accept,
+               ByzantineFn report_byzantine)
+    : config_{config},
+      sim_{sim},
+      broadcast_{std::move(broadcast)},
+      accept_{std::move(accept)},
+      report_byzantine_{std::move(report_byzantine)} {}
+
+void SAgent::set_controller_group(std::vector<std::uint32_t> group,
+                                  std::optional<std::uint32_t> leader) {
+  group_ = std::move(group);
+  leader_ = leader;
+  // Forget behaviour history for controllers that left the group.
+  const auto departed = [&](const auto& kv) {
+    return std::find(group_.begin(), group_.end(), kv.first) == group_.end();
+  };
+  std::erase_if(lazy_counts_, departed);
+  std::erase_if(silent_counts_, departed);
+}
+
+std::uint64_t SAgent::send_request(chain::RequestType type,
+                                   std::vector<std::uint8_t> payload) {
+  const std::uint64_t id = next_request_id_++;
+  PendingRequest req;
+  req.msg = RequestMsg{type, config_.switch_id, id, std::move(payload)};
+  req.sent_at = sim_.now();
+  req.timeout = sim_.schedule(config_.reply_timeout, [this, id] { on_timeout(id); });
+  broadcast_(req.msg);
+  pending_.emplace(id, std::move(req));
+  return id;
+}
+
+void SAgent::on_reply(std::uint32_t controller_id, std::uint64_t request_id,
+                      std::span<const std::uint8_t> config) {
+  const auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;  // stale or unknown reply
+  PendingRequest& req = it->second;
+  if (std::find(group_.begin(), group_.end(), controller_id) == group_.end()) {
+    return;  // reply from a controller not in ctrList_s: ignore
+  }
+  if (req.replies.contains(controller_id)) return;  // duplicate
+
+  std::vector<std::uint8_t> config_bytes{config.begin(), config.end()};
+  record_latency(controller_id, sim_.now() - req.sent_at);
+
+  if (req.accepted_config) {
+    // Late reply after acceptance: a mismatch is evidence of byzantine
+    // behaviour (Algorithm 1 lines 11-13).
+    if (config_bytes != *req.accepted_config) {
+      report_byzantine_({controller_id}, ByzantineReason::kConflictingConfig);
+    }
+    req.replies.emplace(controller_id, std::move(config_bytes));
+    return;
+  }
+
+  req.replies.emplace(controller_id, std::move(config_bytes));
+  try_accept(req);
+}
+
+void SAgent::try_accept(PendingRequest& req) {
+  // Accept once some config value has f+1 identical replies.
+  for (const auto& [controller, config] : req.replies) {
+    std::size_t matches = 0;
+    for (const auto& [other, other_config] : req.replies) {
+      if (other_config == config) ++matches;
+    }
+    if (matches >= config_.f + 1) {
+      req.accepted_config = config;
+      ++accepted_;
+      accept_(req.msg, config);
+      // Conflicting repliers observed so far are byzantine suspects.
+      std::vector<std::uint32_t> conflicting;
+      for (const auto& [other, other_config] : req.replies) {
+        if (other_config != config) conflicting.push_back(other);
+      }
+      if (!conflicting.empty()) {
+        report_byzantine_(conflicting, ByzantineReason::kConflictingConfig);
+      }
+      // Keep the request pending until timeout so silent members are still
+      // detected; acceptance only stops config waiting.
+      return;
+    }
+  }
+}
+
+void SAgent::on_timeout(std::uint64_t request_id) {
+  const auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  PendingRequest req = std::move(it->second);
+  pending_.erase(it);
+
+  if (req.replies.empty()) {
+    // Total silence: the group never even ran consensus. Blame the node
+    // responsible for driving it rather than the whole group.
+    if (leader_) {
+      const std::size_t rounds = ++silent_counts_[*leader_];
+      if (rounds >= config_.max_silent_rounds) {
+        silent_counts_[*leader_] = 0;
+        report_byzantine_({*leader_}, ByzantineReason::kTimeout);
+      }
+    }
+    return;
+  }
+
+  // Controllers in the group that never replied are byzantine-by-silence
+  // after max_silent_rounds consecutive misses; repliers reset their streak.
+  std::vector<std::uint32_t> reported;
+  for (const std::uint32_t c : group_) {
+    if (req.replies.contains(c)) {
+      silent_counts_[c] = 0;
+      continue;
+    }
+    const std::size_t rounds = ++silent_counts_[c];
+    if (rounds >= config_.max_silent_rounds) {
+      silent_counts_[c] = 0;
+      reported.push_back(c);
+    }
+  }
+  if (!reported.empty()) {
+    report_byzantine_(reported, ByzantineReason::kTimeout);
+  }
+}
+
+void SAgent::record_latency(std::uint32_t controller_id, sim::SimTime latency) {
+  if (latency > config_.lazy_threshold) {
+    const std::size_t rounds = ++lazy_counts_[controller_id];
+    if (rounds >= config_.max_lazy_rounds) {
+      lazy_counts_[controller_id] = 0;  // reported; restart the window
+      report_byzantine_({controller_id}, ByzantineReason::kLazy);
+    }
+  } else {
+    lazy_counts_[controller_id] = 0;  // a fast round resets the streak
+  }
+}
+
+std::size_t SAgent::lazy_rounds(std::uint32_t controller_id) const {
+  const auto it = lazy_counts_.find(controller_id);
+  return it == lazy_counts_.end() ? 0 : it->second;
+}
+
+std::size_t SAgent::silent_rounds(std::uint32_t controller_id) const {
+  const auto it = silent_counts_.find(controller_id);
+  return it == silent_counts_.end() ? 0 : it->second;
+}
+
+}  // namespace curb::sdn

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "curb/sim/time.hpp"
+
+namespace curb::sim {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+[[nodiscard]] constexpr std::string_view to_string(LogLevel l) {
+  switch (l) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+/// Minimal structured logger bound to the virtual clock. Sinks are
+/// pluggable so tests can capture output; the default sink is silent, which
+/// keeps benchmark runs clean.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, SimTime, std::string_view component,
+                                  std::string_view message)>;
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  [[nodiscard]] bool enabled(LogLevel l) const {
+    return sink_ && l >= level_ && level_ != LogLevel::kOff;
+  }
+
+  void log(LogLevel l, SimTime now, std::string_view component, std::string_view msg) const {
+    if (enabled(l)) sink_(l, now, component, msg);
+  }
+
+  /// Global logger instance shared by simulation components.
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+ private:
+  LogLevel level_ = LogLevel::kOff;
+  Sink sink_;
+};
+
+/// Convenience: format a stderr sink, e.g. Logger::instance().set_sink(stderr_sink()).
+[[nodiscard]] Logger::Sink stderr_sink();
+
+}  // namespace curb::sim

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace curb::sim {
+
+/// SplitMix64: tiny, fast, statistically solid seeding/stream generator.
+/// Used as the single source of randomness so that every simulation run is
+/// reproducible from one 64-bit seed.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_{seed} {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Deterministic RNG with convenience draws. Intentionally not
+/// std::uniform_int_distribution-based: libstdc++/libc++ distributions differ,
+/// and bit-for-bit reproducibility across toolchains matters for tests.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5DEECE66DULL) : gen_{seed} {}
+
+  std::uint64_t next_u64() { return gen_.next(); }
+
+  /// Uniform in [0, bound) via Lemire-style rejection; bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Rejection sampling on the top bits keeps the draw unbiased.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double_in(double lo, double hi) { return lo + next_double() * (hi - lo); }
+
+  bool next_bool(double p_true = 0.5) { return next_double() < p_true; }
+
+  /// Fisher-Yates shuffle (deterministic given the RNG state).
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[next_below(i)]);
+    }
+  }
+
+  /// Derive an independent child stream (e.g. one per actor).
+  Rng fork() { return Rng{next_u64() ^ 0xA5A5A5A55A5A5A5AULL}; }
+
+ private:
+  SplitMix64 gen_;
+};
+
+}  // namespace curb::sim

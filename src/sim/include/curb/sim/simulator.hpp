@@ -1,0 +1,141 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "curb/sim/rng.hpp"
+#include "curb/sim/time.hpp"
+
+namespace curb::sim {
+
+/// Handle used to cancel a scheduled event (e.g. a timeout that was met).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  [[nodiscard]] bool valid() const { return id_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::uint64_t id) : id_{id} {}
+  std::uint64_t id_ = 0;
+};
+
+/// Deterministic discrete-event simulator.
+///
+/// Events fire in (time, insertion-sequence) order, so two events scheduled
+/// for the same instant run in the order they were scheduled — this makes
+/// whole protocol runs bit-for-bit reproducible from a seed.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  explicit Simulator(std::uint64_t seed = 1) : rng_{seed} {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Schedule `fn` to run `delay` after the current virtual time.
+  EventHandle schedule(SimTime delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Schedule `fn` at an absolute virtual time (must not be in the past).
+  EventHandle schedule_at(SimTime when, Callback fn) {
+    if (when < now_) throw std::logic_error{"Simulator: scheduling into the past"};
+    const std::uint64_t id = ++next_id_;
+    queue_.push(Event{when, id, std::move(fn)});
+    ++pending_;
+    return EventHandle{id};
+  }
+
+  /// Cancel a scheduled event (best effort: cancelling an event that has
+  /// already fired is a harmless no-op). Returns false for invalid handles or
+  /// handles cancelled twice.
+  bool cancel(EventHandle h) {
+    if (!h.valid() || h.id_ > next_id_) return false;
+    if (cancelled_.size() <= h.id_) cancelled_.resize(next_id_ + 1, false);
+    if (cancelled_[h.id_]) return false;
+    cancelled_[h.id_] = true;
+    return true;
+  }
+
+  /// Run until the queue drains. Returns the number of events executed.
+  std::size_t run() { return run_until(SimTime::max()); }
+
+  /// Run events with time <= deadline; the clock ends at
+  /// min(deadline, last event time). Returns events executed.
+  std::size_t run_until(SimTime deadline) {
+    std::size_t executed = 0;
+    while (!queue_.empty()) {
+      const Event& top = queue_.top();
+      if (top.when > deadline) break;
+      Event ev{top.when, top.id, std::move(top.fn)};  // fn is mutable
+      queue_.pop();
+      --pending_;
+      if (is_cancelled(ev.id)) continue;
+      now_ = ev.when;
+      ev.fn();
+      ++executed;
+      if (executed >= max_events_) {
+        throw std::runtime_error{"Simulator: event budget exhausted (possible livelock)"};
+      }
+    }
+    if (deadline != SimTime::max() && deadline > now_) now_ = deadline;
+    return executed;
+  }
+
+  /// Execute exactly one event if available. Returns false when idle.
+  bool step() {
+    while (!queue_.empty()) {
+      Event ev{queue_.top().when, queue_.top().id, std::move(queue_.top().fn)};
+      queue_.pop();
+      --pending_;
+      if (is_cancelled(ev.id)) continue;
+      now_ = ev.when;
+      ev.fn();
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t pending_events() const { return pending_; }
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+  /// Guard against runaway protocols in tests; default is generous.
+  void set_event_budget(std::size_t max_events) { max_events_ = max_events; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t id;
+    mutable Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;  // FIFO among simultaneous events
+    }
+  };
+
+  [[nodiscard]] bool is_cancelled(std::uint64_t id) const {
+    return id < cancelled_.size() && cancelled_[id];
+  }
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_id_ = 0;
+  std::size_t pending_ = 0;
+  std::size_t max_events_ = 500'000'000;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<bool> cancelled_;
+  Rng rng_;
+};
+
+}  // namespace curb::sim

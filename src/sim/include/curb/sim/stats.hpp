@@ -1,0 +1,59 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace curb::sim {
+
+/// Streaming summary statistics (Welford) plus retained samples for
+/// percentiles. Used by the benchmark harness to report the paper's
+/// mean-of-200-measurements data points with error bars.
+class Summary {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  [[nodiscard]] double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const {
+    return samples_.empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
+  }
+  [[nodiscard]] double max() const {
+    return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// Linear-interpolated percentile, q in [0, 100].
+  [[nodiscard]] double percentile(double q) const {
+    if (samples_.empty()) return 0.0;
+    if (q < 0.0 || q > 100.0) throw std::invalid_argument{"percentile out of range"};
+    std::vector<double> s = samples_;
+    std::sort(s.begin(), s.end());
+    const double pos = q / 100.0 * static_cast<double>(s.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, s.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return s[lo] + frac * (s[hi] - s[lo]);
+  }
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace curb::sim

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <ostream>
+
+namespace curb::sim {
+
+/// Simulated time, a strong type over a signed microsecond count.
+///
+/// All protocol latencies in the reproduction are expressed in virtual
+/// microseconds so that runs are deterministic and independent of the host
+/// machine. Negative values are permitted for durations (differences) but a
+/// simulator clock never runs backwards.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  [[nodiscard]] static constexpr SimTime micros(std::int64_t us) { return SimTime{us}; }
+  [[nodiscard]] static constexpr SimTime millis(std::int64_t ms) { return SimTime{ms * 1000}; }
+  [[nodiscard]] static constexpr SimTime seconds(std::int64_t s) { return SimTime{s * 1'000'000}; }
+  /// Fractional seconds helper for delay models (e.g. distance / velocity).
+  [[nodiscard]] static constexpr SimTime from_seconds_f(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e6)};
+  }
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime{0}; }
+  [[nodiscard]] static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t as_micros() const { return us_; }
+  [[nodiscard]] constexpr double as_millis_f() const { return static_cast<double>(us_) / 1e3; }
+  [[nodiscard]] constexpr double as_seconds_f() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime& operator+=(SimTime rhs) {
+    us_ += rhs.us_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime rhs) {
+    us_ -= rhs.us_;
+    return *this;
+  }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) { return SimTime{a.us_ + b.us_}; }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) { return SimTime{a.us_ - b.us_}; }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) { return SimTime{a.us_ * k}; }
+  friend constexpr SimTime operator*(std::int64_t k, SimTime a) { return SimTime{a.us_ * k}; }
+  friend constexpr SimTime operator/(SimTime a, std::int64_t k) { return SimTime{a.us_ / k}; }
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) {
+    return os << t.as_millis_f() << "ms";
+  }
+
+ private:
+  constexpr explicit SimTime(std::int64_t us) : us_{us} {}
+  std::int64_t us_ = 0;
+};
+
+namespace literals {
+constexpr SimTime operator""_us(unsigned long long v) {
+  return SimTime::micros(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_ms(unsigned long long v) {
+  return SimTime::millis(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_s(unsigned long long v) {
+  return SimTime::seconds(static_cast<std::int64_t>(v));
+}
+}  // namespace literals
+
+}  // namespace curb::sim

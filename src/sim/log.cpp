@@ -1,0 +1,16 @@
+#include "curb/sim/log.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace curb::sim {
+
+Logger::Sink stderr_sink() {
+  return [](LogLevel l, SimTime now, std::string_view component, std::string_view msg) {
+    std::fprintf(stderr, "[%8.3fms] %-5s %.*s: %.*s\n", now.as_millis_f(),
+                 std::string(to_string(l)).c_str(), static_cast<int>(component.size()),
+                 component.data(), static_cast<int>(msg.size()), msg.data());
+  };
+}
+
+}  // namespace curb::sim

@@ -1,0 +1,162 @@
+#include "curb/bft/hotstuff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "curb/bft/group.hpp"
+#include "curb/bft/replica.hpp"
+#include "curb/sim/simulator.hpp"
+
+namespace curb::bft {
+namespace {
+
+using namespace curb::sim::literals;
+
+PbftGroup::Options hs_options(std::size_t n = 4) {
+  PbftGroup::Options opts;
+  opts.group_size = n;
+  opts.engine = ConsensusEngine::kHotstuff;
+  return opts;
+}
+
+std::vector<std::uint8_t> payload(std::string_view s) { return {s.begin(), s.end()}; }
+
+TEST(Hotstuff, RejectsBadConfig) {
+  sim::Simulator sim;
+  const auto noop_send = [](std::uint32_t, const PbftMessage&) {};
+  const auto noop_deliver = [](std::uint64_t, const std::vector<std::uint8_t>&) {};
+  ReplicaConfig too_small;
+  too_small.group_size = 3;
+  EXPECT_THROW(HotstuffReplica(too_small, sim, noop_send, noop_deliver),
+               std::invalid_argument);
+  ReplicaConfig bad_index;
+  bad_index.replica_index = 9;
+  EXPECT_THROW(HotstuffReplica(bad_index, sim, noop_send, noop_deliver),
+               std::invalid_argument);
+}
+
+TEST(Hotstuff, NonLeaderCannotPropose) {
+  sim::Simulator sim;
+  PbftGroup group{sim, hs_options()};
+  EXPECT_THROW((void)group.replica(1).propose(payload("x")), std::logic_error);
+}
+
+TEST(Hotstuff, AllHonestReplicasCommit) {
+  sim::Simulator sim;
+  PbftGroup group{sim, hs_options()};
+  group.replica(0).propose(payload("linear"));
+  sim.run();
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(group.delivered(i).size(), 1u) << "replica " << i;
+    EXPECT_EQ(group.delivered(i)[0].payload, payload("linear"));
+  }
+}
+
+TEST(Hotstuff, SequentialProposalsDeliverInOrder) {
+  sim::Simulator sim;
+  PbftGroup group{sim, hs_options(7)};
+  for (int i = 0; i < 5; ++i) group.replica(0).propose(payload("p" + std::to_string(i)));
+  sim.run();
+  for (std::uint32_t i = 0; i < 7; ++i) {
+    ASSERT_EQ(group.delivered(i).size(), 5u);
+    EXPECT_EQ(group.delivered(i), group.delivered(0));
+  }
+}
+
+TEST(Hotstuff, ToleratesFSilentFollowers) {
+  sim::Simulator sim;
+  PbftGroup group{sim, hs_options(7)};  // f = 2
+  group.replica(3).set_behavior(Behavior::kSilent);
+  group.replica(6).set_behavior(Behavior::kSilent);
+  group.replica(0).propose(payload("resilient"));
+  sim.run_until(400_ms);
+  EXPECT_GE(group.replicas_delivered_at_least(1), 5u);
+}
+
+TEST(Hotstuff, EquivocatingLeaderCannotCommitConflicting) {
+  sim::Simulator sim;
+  PbftGroup group{sim, hs_options()};
+  group.replica(0).set_behavior(Behavior::kEquivocate);
+  group.replica(0).propose(payload("fork"));
+  sim.run_until(300_ms);
+  EXPECT_EQ(group.replicas_delivered_at_least(1), 0u);
+}
+
+TEST(Hotstuff, EquivocatingLeaderDeposedByViewChange) {
+  sim::Simulator sim;
+  PbftGroup group{sim, hs_options()};
+  group.replica(0).set_behavior(Behavior::kEquivocate);
+  group.replica(0).propose(payload("fork"));
+  sim.run_until(3000_ms);
+  EXPECT_GE(group.replica(1).view(), 1u);
+  EXPECT_EQ(group.replica(1).view(), group.replica(2).view());
+}
+
+TEST(Hotstuff, LinearMessageComplexity) {
+  // Per decision, HotStuff-style exchanges O(n) messages; PBFT O(n^2).
+  auto count = [](ConsensusEngine engine, std::size_t n) {
+    sim::Simulator sim;
+    PbftGroup::Options opts;
+    opts.group_size = n;
+    opts.engine = engine;
+    PbftGroup group{sim, opts};
+    group.replica(0).propose({0x01});
+    sim.run_until(400_ms);
+    return group.messages_sent();
+  };
+  for (const std::size_t n : {7u, 13u}) {
+    EXPECT_LT(count(ConsensusEngine::kHotstuff, n), count(ConsensusEngine::kPbft, n))
+        << "n=" << n;
+  }
+  // Growth is ~linear: quadrupling n should far less than 16x the messages.
+  const double small = static_cast<double>(count(ConsensusEngine::kHotstuff, 4));
+  const double big = static_cast<double>(count(ConsensusEngine::kHotstuff, 16));
+  EXPECT_LT(big / small, 8.0);
+}
+
+TEST(Hotstuff, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    sim::Simulator sim;
+    PbftGroup group{sim, hs_options(7)};
+    for (int i = 0; i < 3; ++i) group.replica(0).propose({static_cast<std::uint8_t>(i)});
+    sim.run();
+    return group.messages_sent();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Hotstuff, IgnoresPbftTraffic) {
+  sim::Simulator sim;
+  PbftGroup group{sim, hs_options()};
+  PbftMessage msg;
+  msg.type = PbftMessage::Type::kPrePrepare;  // PBFT message to a HotStuff node
+  msg.sender = 2;
+  EXPECT_NO_THROW(group.replica(0).on_message(msg));
+}
+
+TEST(Hotstuff, RejectsForgedQc) {
+  // A QC naming fewer than 2f+1 distinct voters must be ignored.
+  sim::Simulator sim;
+  PbftGroup group{sim, hs_options()};
+  PbftMessage qc;
+  qc.type = PbftMessage::Type::kQcCommit;
+  qc.view = 0;
+  qc.sequence = 1;
+  qc.sender = 0;
+  qc.qc_voters = {0, 0, 0};  // duplicates: only one distinct voter
+  group.replica(1).on_message(qc);
+  sim.run_until(50_ms);
+  EXPECT_TRUE(group.delivered(1).empty());
+}
+
+TEST(MakeReplica, FactoryProducesRequestedEngine) {
+  sim::Simulator sim;
+  const auto noop_send = [](std::uint32_t, const PbftMessage&) {};
+  const auto noop_deliver = [](std::uint64_t, const std::vector<std::uint8_t>&) {};
+  auto pbft = make_replica(ConsensusEngine::kPbft, {}, sim, noop_send, noop_deliver);
+  auto hs = make_replica(ConsensusEngine::kHotstuff, {}, sim, noop_send, noop_deliver);
+  EXPECT_NE(dynamic_cast<PbftReplica*>(pbft.get()), nullptr);
+  EXPECT_NE(dynamic_cast<HotstuffReplica*>(hs.get()), nullptr);
+}
+
+}  // namespace
+}  // namespace curb::bft

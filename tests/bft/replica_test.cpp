@@ -1,0 +1,284 @@
+#include "curb/bft/replica.hpp"
+
+#include <gtest/gtest.h>
+
+#include "curb/bft/group.hpp"
+#include "curb/sim/simulator.hpp"
+
+namespace curb::bft {
+namespace {
+
+using namespace curb::sim::literals;
+
+std::vector<std::uint8_t> payload(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(PbftReplica, RejectsBadConfig) {
+  sim::Simulator sim;
+  const auto noop_send = [](std::uint32_t, const PbftMessage&) {};
+  const auto noop_deliver = [](std::uint64_t, const std::vector<std::uint8_t>&) {};
+  PbftReplica::Config too_small;
+  too_small.group_size = 3;
+  EXPECT_THROW(PbftReplica(too_small, sim, noop_send, noop_deliver),
+               std::invalid_argument);
+  PbftReplica::Config bad_index;
+  bad_index.group_size = 4;
+  bad_index.replica_index = 4;
+  EXPECT_THROW(PbftReplica(bad_index, sim, noop_send, noop_deliver),
+               std::invalid_argument);
+}
+
+TEST(PbftReplica, NonLeaderCannotPropose) {
+  sim::Simulator sim;
+  PbftGroup group{sim, {}};
+  EXPECT_THROW((void)group.replica(1).propose(payload("x")), std::logic_error);
+  EXPECT_NO_THROW((void)group.replica(0).propose(payload("x")));
+}
+
+TEST(PbftReplica, AllHonestReplicasCommit) {
+  sim::Simulator sim;
+  PbftGroup group{sim, {}};
+  group.replica(0).propose(payload("tx-list-1"));
+  sim.run();
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(group.delivered(i).size(), 1u) << "replica " << i;
+    EXPECT_EQ(group.delivered(i)[0].sequence, 1u);
+    EXPECT_EQ(group.delivered(i)[0].payload, payload("tx-list-1"));
+  }
+}
+
+TEST(PbftReplica, SequentialProposalsDeliverInOrder) {
+  sim::Simulator sim;
+  PbftGroup group{sim, {}};
+  group.replica(0).propose(payload("a"));
+  group.replica(0).propose(payload("b"));
+  group.replica(0).propose(payload("c"));
+  sim.run();
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(group.delivered(i).size(), 3u);
+    EXPECT_EQ(group.delivered(i)[0].payload, payload("a"));
+    EXPECT_EQ(group.delivered(i)[1].payload, payload("b"));
+    EXPECT_EQ(group.delivered(i)[2].payload, payload("c"));
+    EXPECT_EQ(group.delivered(i)[2].sequence, 3u);
+  }
+}
+
+TEST(PbftReplica, AllReplicasDeliverIdenticalHistories) {
+  sim::Simulator sim;
+  PbftGroup group{sim, {.group_size = 7}};
+  for (int i = 0; i < 5; ++i) group.replica(0).propose(payload("p" + std::to_string(i)));
+  sim.run();
+  for (std::uint32_t i = 1; i < 7; ++i) {
+    EXPECT_EQ(group.delivered(i), group.delivered(0)) << "replica " << i;
+  }
+}
+
+TEST(PbftReplica, ToleratesOneSilentFollower) {
+  sim::Simulator sim;
+  PbftGroup group{sim, {}};
+  group.replica(2).set_behavior(Behavior::kSilent);
+  group.replica(0).propose(payload("resilient"));
+  sim.run_until(400_ms);  // before view-change timeout
+  // The 3 honest replicas (incl. leader) still commit; the silent one also
+  // receives enough commits from honest peers to commit locally.
+  EXPECT_GE(group.replicas_delivered_at_least(1), 3u);
+}
+
+TEST(PbftReplica, ToleratesFSilentInLargerGroup) {
+  sim::Simulator sim;
+  PbftGroup group{sim, {.group_size = 10}};  // f = 3
+  group.replica(3).set_behavior(Behavior::kSilent);
+  group.replica(5).set_behavior(Behavior::kSilent);
+  group.replica(8).set_behavior(Behavior::kSilent);
+  group.replica(0).propose(payload("tolerate-3"));
+  sim.run_until(400_ms);
+  EXPECT_GE(group.replicas_delivered_at_least(1), 7u);
+}
+
+TEST(PbftReplica, FullySilentLeaderIsInvisibleToPbft) {
+  // A leader that never sends the pre-prepare leaves followers with nothing
+  // to time out on — PBFT alone cannot detect it. Curb handles this case at
+  // the s-agent layer (request timeout -> RE-ASS), which is exactly why the
+  // paper adds reassignment on top of consensus.
+  sim::Simulator sim;
+  PbftGroup group{sim, {.view_change_timeout = sim::SimTime::millis(100)}};
+  group.replica(0).set_behavior(Behavior::kSilent);
+  group.replica(0).propose(payload("never-sent"));
+  sim.run_until(2000_ms);
+  EXPECT_EQ(group.replicas_delivered_at_least(1), 0u);
+  EXPECT_EQ(group.replica(1).view(), 0u);
+}
+
+TEST(PbftReplica, SilentMinorityCannotStopCommit) {
+  // With exactly f silent followers the honest 2f+1 commit without them.
+  sim::Simulator sim;
+  PbftGroup group{sim, {.group_size = 7}};  // f = 2
+  group.replica(4).set_behavior(Behavior::kSilent);
+  group.replica(6).set_behavior(Behavior::kSilent);
+  group.replica(0).propose(payload("commit-anyway"));
+  sim.run_until(400_ms);
+  EXPECT_GE(group.replicas_delivered_at_least(1), 5u);
+}
+
+TEST(PbftReplica, EquivocatingLeaderBlocksQuorumBeforeTimeout) {
+  sim::Simulator sim;
+  PbftGroup group{sim, {.view_change_timeout = sim::SimTime::millis(200)}};
+  group.replica(0).set_behavior(Behavior::kEquivocate);
+  group.replica(0).propose(payload("fork-attempt"));
+  sim.run_until(150_ms);
+  // No quorum forms on either conflicting digest before the timeout.
+  EXPECT_EQ(group.replicas_delivered_at_least(1), 0u);
+}
+
+TEST(PbftReplica, EquivocatingLeaderTriggersViewChange) {
+  sim::Simulator sim;
+  PbftGroup group{sim, {.view_change_timeout = sim::SimTime::millis(100)}};
+  group.replica(0).set_behavior(Behavior::kEquivocate);
+  group.replica(0).propose(payload("fork-attempt"));
+  sim.run_until(3000_ms);
+  // Followers who accepted a pre-prepare time out and depose the leader.
+  EXPECT_GE(group.replica(1).view(), 1u);
+  EXPECT_EQ(group.replica(1).view(), group.replica(2).view());
+  EXPECT_EQ(group.replica(1).view(), group.replica(3).view());
+  EXPECT_NE(group.replica(1).leader_index(), 0u);
+}
+
+TEST(PbftReplica, NewLeaderCanProposeAfterViewChange) {
+  sim::Simulator sim;
+  PbftGroup group{sim, {.view_change_timeout = sim::SimTime::millis(100)}};
+  group.replica(0).set_behavior(Behavior::kEquivocate);
+  group.replica(0).propose(payload("doomed"));
+  sim.run_until(3000_ms);
+  ASSERT_GE(group.replica(1).view(), 1u);
+  ConsensusReplica& new_leader = group.current_leader();
+  ASSERT_NE(new_leader.index(), 0u);
+  new_leader.propose(payload("recovered"));
+  sim.run_until(4000_ms);
+  // The three honest replicas deliver the new proposal.
+  std::size_t delivered = 0;
+  for (std::uint32_t i = 1; i < 4; ++i) {
+    for (const auto& d : group.delivered(i)) {
+      if (d.payload == payload("recovered")) ++delivered;
+    }
+  }
+  EXPECT_GE(delivered, 2u);
+}
+
+TEST(PbftReplica, LazyFollowerDelaysButDoesNotPreventCommit) {
+  sim::Simulator sim;
+  PbftGroup group{sim, {.group_size = 4}};
+  group.replica(3).set_behavior(Behavior::kLazy);
+  group.replica(0).propose(payload("slow-friend"));
+  sim.run_until(450_ms);
+  EXPECT_GE(group.replicas_delivered_at_least(1), 3u);
+}
+
+TEST(PbftReplica, MessageComplexityIsQuadratic) {
+  // One consensus round in a group of size c exchanges O(c^2) messages —
+  // the constant the paper's Theorem 1 builds on.
+  std::vector<std::uint64_t> counts;
+  for (const std::size_t c : {4u, 7u, 10u, 13u}) {
+    sim::Simulator sim;
+    PbftGroup group{sim, {.group_size = c}};
+    group.replica(0).propose(payload("count-me"));
+    sim.run_until(400_ms);
+    counts.push_back(group.messages_sent());
+  }
+  // Quadratic growth: messages(13)/messages(4) should be ~(13/4)^2 ~ 10.
+  EXPECT_GT(static_cast<double>(counts[3]) / static_cast<double>(counts[0]), 6.0);
+  // And each round is at least (pre-prepare) c-1 + (prepare+commit) ~2c(c-1).
+  EXPECT_GE(counts[0], 3u + 2u * 3u * 3u / 2u);
+}
+
+TEST(PbftReplica, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    sim::Simulator sim;
+    PbftGroup group{sim, {.group_size = 7}};
+    for (int i = 0; i < 3; ++i) group.replica(0).propose(payload("d" + std::to_string(i)));
+    sim.run();
+    return group.messages_sent();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(PbftReplica, IgnoresMessagesFromUnknownSenders) {
+  sim::Simulator sim;
+  PbftGroup group{sim, {}};
+  PbftMessage msg;
+  msg.type = PbftMessage::Type::kPrepare;
+  msg.sender = 99;  // out of range
+  EXPECT_NO_THROW(group.replica(0).on_message(msg));
+  msg.sender = 0;  // own index: must also be ignored
+  EXPECT_NO_THROW(group.replica(0).on_message(msg));
+}
+
+TEST(PbftReplica, IgnoresPrePrepareFromNonLeader) {
+  sim::Simulator sim;
+  PbftGroup group{sim, {}};
+  PbftMessage msg;
+  msg.type = PbftMessage::Type::kPrePrepare;
+  msg.view = 0;
+  msg.sequence = 1;
+  msg.sender = 2;  // not the leader of view 0
+  msg.payload = payload("evil");
+  msg.digest = payload_digest(msg.payload);
+  group.replica(1).on_message(msg);
+  sim.run_until(50_ms);
+  EXPECT_TRUE(group.delivered(1).empty());
+}
+
+TEST(PbftReplica, IgnoresMalformedDigest) {
+  sim::Simulator sim;
+  PbftGroup group{sim, {}};
+  PbftMessage msg;
+  msg.type = PbftMessage::Type::kPrePrepare;
+  msg.view = 0;
+  msg.sequence = 1;
+  msg.sender = 0;
+  msg.payload = payload("data");
+  msg.digest = crypto::Hash256{};  // wrong digest
+  group.replica(1).on_message(msg);
+  sim.run_until(50_ms);
+  EXPECT_TRUE(group.delivered(1).empty());
+}
+
+TEST(PbftReplica, GarbageCollectsExecutedSlots) {
+  sim::Simulator sim;
+  // Tiny gc window so collection is observable quickly.
+  std::vector<std::unique_ptr<PbftReplica>> replicas;
+  std::vector<std::size_t> delivered(4, 0);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    PbftReplica::Config cfg;
+    cfg.replica_index = i;
+    cfg.group_size = 4;
+    cfg.gc_window = 4;
+    replicas.push_back(std::make_unique<PbftReplica>(
+        cfg, sim,
+        [&sim, &replicas, i](std::uint32_t dest, const PbftMessage& msg) {
+          sim.schedule(sim::SimTime::millis(1),
+                       [&replicas, dest, msg] { replicas[dest]->on_message(msg); });
+        },
+        [&delivered, i](std::uint64_t, const std::vector<std::uint8_t>&) {
+          ++delivered[i];
+        }));
+  }
+  for (int k = 0; k < 20; ++k) {
+    replicas[0]->propose({static_cast<std::uint8_t>(k)});
+    sim.run();
+  }
+  // Every proposal delivered exactly once on every replica despite GC.
+  for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(delivered[i], 20u) << i;
+  EXPECT_EQ(replicas[0]->next_execute(), 21u);
+}
+
+TEST(PbftMessage, WireSizeAccounting) {
+  PbftMessage msg;
+  msg.payload = payload("12345");
+  const std::size_t base = msg.wire_size();
+  msg.prepared.push_back({1, crypto::Hash256{}, payload("123")});
+  EXPECT_GT(msg.wire_size(), base);
+}
+
+}  // namespace
+}  // namespace curb::bft

@@ -1,0 +1,72 @@
+#include "curb/chain/serial.hpp"
+
+#include <gtest/gtest.h>
+
+namespace curb::chain {
+namespace {
+
+TEST(Serial, ScalarRoundTrip) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.f64(3.14159);
+  ByteReader r{std::span<const std::uint8_t>{w.data()}};
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serial, BytesAndStringRoundTrip) {
+  ByteWriter w;
+  w.bytes(std::vector<std::uint8_t>{1, 2, 3});
+  w.str("hello");
+  w.str("");
+  ByteReader r{std::span<const std::uint8_t>{w.data()}};
+  EXPECT_EQ(r.bytes(), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serial, FixedArrayRoundTrip) {
+  std::array<std::uint8_t, 4> a{9, 8, 7, 6};
+  ByteWriter w;
+  w.fixed(a);
+  ByteReader r{std::span<const std::uint8_t>{w.data()}};
+  EXPECT_EQ(r.fixed<4>(), a);
+}
+
+TEST(Serial, TruncatedInputThrows) {
+  ByteWriter w;
+  w.u32(42);
+  ByteReader r{std::span<const std::uint8_t>{w.data()}};
+  EXPECT_THROW((void)r.u64(), std::out_of_range);
+}
+
+TEST(Serial, TruncatedBytesLengthThrows) {
+  // Length prefix claims 100 bytes but only 2 follow.
+  ByteWriter w;
+  w.u32(100);
+  w.u16(0);
+  ByteReader r{std::span<const std::uint8_t>{w.data()}};
+  EXPECT_THROW((void)r.bytes(), std::out_of_range);
+}
+
+TEST(Serial, RemainingTracksPosition) {
+  ByteWriter w;
+  w.u32(1);
+  w.u32(2);
+  ByteReader r{std::span<const std::uint8_t>{w.data()}};
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+  EXPECT_FALSE(r.done());
+}
+
+}  // namespace
+}  // namespace curb::chain

@@ -1,0 +1,152 @@
+#include "curb/core/assignment_state.hpp"
+
+#include <gtest/gtest.h>
+
+namespace curb::core {
+namespace {
+
+/// 6 switches over 8 controllers; switches 0-2 share {0,1,2,3},
+/// switches 3-5 share {4,5,6,7}.
+opt::Assignment two_cliques() {
+  opt::Assignment a{6, 8};
+  for (std::size_t sw = 0; sw < 3; ++sw) {
+    for (std::size_t c = 0; c < 4; ++c) a.set(sw, c, true);
+  }
+  for (std::size_t sw = 3; sw < 6; ++sw) {
+    for (std::size_t c = 4; c < 8; ++c) a.set(sw, c, true);
+  }
+  return a;
+}
+
+TEST(AssignmentState, GroupsDeduplicateIdenticalSets) {
+  const auto state = AssignmentState::build(two_cliques(), 1, 0);
+  ASSERT_EQ(state.groups().size(), 2u);
+  EXPECT_EQ(state.group(0).members, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(state.group(1).members, (std::vector<std::uint32_t>{4, 5, 6, 7}));
+  EXPECT_EQ(state.group(0).switches, (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_EQ(state.group_of_switch(4), 1u);
+}
+
+TEST(AssignmentState, DefaultLeaderIsLowestId) {
+  const auto state = AssignmentState::build(two_cliques(), 1, 0);
+  EXPECT_EQ(state.group(0).leader, 0u);
+  EXPECT_EQ(state.group(1).leader, 4u);
+}
+
+TEST(AssignmentState, LeaderPersistsAcrossRebuild) {
+  auto prev = AssignmentState::build(two_cliques(), 1, 0);
+  // Rebuild with controller 0 removed from group 0: leader falls back;
+  // but if the previous leader (0) survives, it must be kept.
+  const auto same = AssignmentState::build(two_cliques(), 1, 1, {}, &prev);
+  EXPECT_EQ(same.group(0).leader, prev.group(0).leader);
+
+  // Remove controller 0 from switch 0-2's group.
+  opt::Assignment changed = two_cliques();
+  for (std::size_t sw = 0; sw < 3; ++sw) {
+    changed.set(sw, 0, false);
+    changed.set(sw, 4, true);
+  }
+  const auto next = AssignmentState::build(changed, 1, 2, {0}, &prev);
+  // Old leader 0 is gone; new leader is the lowest surviving member.
+  EXPECT_EQ(next.group(next.group_of_switch(0)).leader, 1u);
+}
+
+TEST(AssignmentState, FinalCommitteeDrawsAcrossGroups) {
+  const auto state = AssignmentState::build(two_cliques(), 1, 0);
+  // 2 groups provide 2 members; fallback fills to 3f+1 = 4 from remaining.
+  EXPECT_EQ(state.final_committee().size(), 4u);
+  // One member from group 0 (lowest: 0), one from group 1 (lowest: 4),
+  // then fallback 1, 2 by ascending id -> sorted {0, 1, 2, 4}.
+  EXPECT_EQ(state.final_committee(), (std::vector<std::uint32_t>{0, 1, 2, 4}));
+  EXPECT_EQ(state.final_leader(), 4u);  // highest id in the committee
+}
+
+TEST(AssignmentState, FinalCommitteeSkipsByzantineInFallback) {
+  const auto state = AssignmentState::build(two_cliques(), 1, 0, {1});
+  for (const auto member : state.final_committee()) EXPECT_NE(member, 1u);
+}
+
+TEST(AssignmentState, ManyGroupsElectDistinctMembers) {
+  // 5 switches, each with a distinct overlapping group; f=1 -> 4 seats from
+  // the first 4 groups, each electing a member not yet elected.
+  opt::Assignment a{5, 8};
+  for (std::size_t sw = 0; sw < 5; ++sw) {
+    for (std::size_t k = 0; k < 4; ++k) a.set(sw, (sw + k) % 8, true);
+  }
+  const auto state = AssignmentState::build(a, 1, 0);
+  ASSERT_EQ(state.groups().size(), 5u);
+  const auto& committee = state.final_committee();
+  ASSERT_EQ(committee.size(), 4u);
+  // Group 0 = {0,1,2,3} elects 0; group 1 = {1,2,3,4} elects 1;
+  // group 2 elects 2; group 3 elects 3.
+  EXPECT_EQ(committee, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(AssignmentState, MembershipQueries) {
+  const auto state = AssignmentState::build(two_cliques(), 1, 0);
+  EXPECT_EQ(state.groups_of_controller(2), (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(state.groups_of_controller(5), (std::vector<std::uint32_t>{1}));
+  EXPECT_TRUE(state.in_final_committee(0));
+  EXPECT_FALSE(state.in_final_committee(7));
+  EXPECT_EQ(state.replica_index(0, 2), 2u);
+  EXPECT_EQ(state.replica_index(1, 2), std::nullopt);
+  EXPECT_EQ(state.final_replica_index(4), 3u);
+}
+
+TEST(AssignmentState, SerializeRoundTrip) {
+  auto prev = AssignmentState::build(two_cliques(), 1, 0);
+  const auto state = AssignmentState::build(two_cliques(), 1, 7, {6}, &prev);
+  const auto bytes = state.serialize();
+  const auto restored = AssignmentState::deserialize(bytes);
+  EXPECT_EQ(restored.epoch(), 7u);
+  EXPECT_EQ(restored.f(), 1u);
+  EXPECT_EQ(restored.byzantine(), (std::vector<std::uint32_t>{6}));
+  EXPECT_EQ(restored.groups().size(), state.groups().size());
+  for (std::size_t g = 0; g < state.groups().size(); ++g) {
+    EXPECT_EQ(restored.group(static_cast<std::uint32_t>(g)).members,
+              state.group(static_cast<std::uint32_t>(g)).members);
+    EXPECT_EQ(restored.group(static_cast<std::uint32_t>(g)).leader,
+              state.group(static_cast<std::uint32_t>(g)).leader);
+  }
+  EXPECT_EQ(restored.final_committee(), state.final_committee());
+}
+
+TEST(AssignmentState, SerializePreservesNonDefaultLeader) {
+  auto prev = AssignmentState::build(two_cliques(), 1, 0);
+  opt::Assignment changed = two_cliques();
+  for (std::size_t sw = 0; sw < 3; ++sw) {
+    changed.set(sw, 0, false);
+    changed.set(sw, 5, true);
+  }
+  // Previous leader 0 gone -> leader 1. Now rebuild once more keeping 1.
+  const auto mid = AssignmentState::build(changed, 1, 1, {}, &prev);
+  const auto restored = AssignmentState::deserialize(mid.serialize());
+  EXPECT_EQ(restored.group(restored.group_of_switch(0)).leader,
+            mid.group(mid.group_of_switch(0)).leader);
+}
+
+TEST(AssignmentState, ByzantineListSortedAndUnique) {
+  const auto state = AssignmentState::build(two_cliques(), 1, 0, {5, 1, 5, 3});
+  EXPECT_EQ(state.byzantine(), (std::vector<std::uint32_t>{1, 3, 5}));
+}
+
+TEST(AssignmentState, RejectsEmptyGroup) {
+  opt::Assignment a{2, 8};
+  a.set(0, 0, true);  // switch 1 has no controllers
+  EXPECT_THROW((void)AssignmentState::build(a, 1, 0), std::invalid_argument);
+}
+
+TEST(AssignmentState, RejectsTooFewControllersForCommittee) {
+  opt::Assignment a{1, 3};
+  for (std::size_t c = 0; c < 3; ++c) a.set(0, c, true);
+  EXPECT_THROW((void)AssignmentState::build(a, 1, 0), std::invalid_argument);
+}
+
+TEST(AssignmentState, QueriesRejectBadIds) {
+  const auto state = AssignmentState::build(two_cliques(), 1, 0);
+  EXPECT_THROW((void)state.group(9), std::out_of_range);
+  EXPECT_THROW((void)state.group_of_switch(99), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace curb::core

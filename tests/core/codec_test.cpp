@@ -1,0 +1,70 @@
+#include "curb/core/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "curb/core/messages.hpp"
+
+namespace curb::core {
+namespace {
+
+TEST(Codec, TxListRoundTrip) {
+  std::vector<chain::Transaction> txs;
+  txs.emplace_back(chain::RequestType::kPacketIn, 1, 2, 3,
+                   std::vector<std::uint8_t>{0xaa});
+  txs.emplace_back(chain::RequestType::kReassign, 4, 5, 6,
+                   std::vector<std::uint8_t>{0xbb, 0xcc});
+  const auto bytes = serialize_tx_list(txs);
+  const auto restored = deserialize_tx_list(bytes);
+  EXPECT_EQ(restored, txs);
+}
+
+TEST(Codec, EmptyTxList) {
+  EXPECT_TRUE(deserialize_tx_list(serialize_tx_list({})).empty());
+}
+
+TEST(Codec, PacketRoundTrip) {
+  const sdn::Packet p{7, 9, 1234, 800};
+  const auto restored = deserialize_packet(serialize_packet(p));
+  EXPECT_EQ(restored, p);
+}
+
+TEST(Codec, IdListRoundTrip) {
+  const std::vector<std::uint32_t> ids{5, 1, 9, 9};
+  EXPECT_EQ(deserialize_id_list(serialize_id_list(ids)), ids);
+  EXPECT_TRUE(deserialize_id_list(serialize_id_list({})).empty());
+}
+
+TEST(Codec, TruncatedInputThrows) {
+  auto bytes = serialize_tx_list({chain::Transaction{}});
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW((void)deserialize_tx_list(bytes), std::out_of_range);
+}
+
+TEST(CurbMessages, CategoriesAndSizes) {
+  const CurbMessage request{sdn::RequestMsg{chain::RequestType::kPacketIn, 1, 2, {0xff}}};
+  EXPECT_EQ(category_of(request), "PKT-IN");
+  EXPECT_GT(wire_size(request), 0u);
+
+  PbftEnvelope intra;
+  intra.instance = 3;
+  EXPECT_EQ(category_of(CurbMessage{intra}), "intra-pbft");
+  PbftEnvelope final_env;
+  final_env.instance = PbftEnvelope::kFinalInstance;
+  EXPECT_EQ(category_of(CurbMessage{final_env}), "final-pbft");
+
+  EXPECT_EQ(category_of(CurbMessage{AgreeMsg{}}), "AGREE");
+  EXPECT_EQ(category_of(CurbMessage{FinalAgreeMsg{}}), "FINAL-AGREE");
+  EXPECT_EQ(category_of(CurbMessage{ReplyMsg{}}), "REPLY");
+  EXPECT_EQ(category_of(CurbMessage{GroupUpdateMsg{}}), "GROUP-UPDATE");
+  EXPECT_EQ(category_of(CurbMessage{DataPacketMsg{}}), "DATA");
+}
+
+TEST(CurbMessages, WireSizeGrowsWithPayload) {
+  AgreeMsg small{1, 2, std::vector<std::uint8_t>(10)};
+  AgreeMsg big{1, 2, std::vector<std::uint8_t>(1000)};
+  EXPECT_LT(CurbMessage{small}.index(), std::variant_size_v<CurbMessage>);
+  EXPECT_LT(wire_size(CurbMessage{small}), wire_size(CurbMessage{big}));
+}
+
+}  // namespace
+}  // namespace curb::core

@@ -1,0 +1,111 @@
+#include "curb/crypto/merkle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "curb/crypto/sha256.hpp"
+
+namespace curb::crypto {
+namespace {
+
+std::vector<Hash256> make_leaves(std::size_t n) {
+  std::vector<Hash256> leaves;
+  leaves.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    leaves.push_back(Sha256::digest("leaf-" + std::to_string(i)));
+  }
+  return leaves;
+}
+
+TEST(Merkle, EmptyTreeHasZeroRoot) {
+  const MerkleTree tree{{}};
+  EXPECT_EQ(tree.root(), Hash256{});
+  EXPECT_EQ(tree.leaf_count(), 0u);
+}
+
+TEST(Merkle, SingleLeafRootIsLeaf) {
+  const auto leaves = make_leaves(1);
+  const MerkleTree tree{leaves};
+  EXPECT_EQ(tree.root(), leaves[0]);
+}
+
+TEST(Merkle, TwoLeavesRootIsCombine) {
+  const auto leaves = make_leaves(2);
+  const MerkleTree tree{leaves};
+  EXPECT_EQ(tree.root(), MerkleTree::combine(leaves[0], leaves[1]));
+}
+
+TEST(Merkle, OddLeafCountDuplicatesLast) {
+  const auto leaves = make_leaves(3);
+  const MerkleTree tree{leaves};
+  const Hash256 left = MerkleTree::combine(leaves[0], leaves[1]);
+  const Hash256 right = MerkleTree::combine(leaves[2], leaves[2]);
+  EXPECT_EQ(tree.root(), MerkleTree::combine(left, right));
+}
+
+TEST(Merkle, RootChangesWithAnyLeaf) {
+  auto leaves = make_leaves(8);
+  const Hash256 original = MerkleTree::root_of(leaves);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    auto mutated = leaves;
+    mutated[i][0] ^= 0x01;
+    EXPECT_NE(MerkleTree::root_of(mutated), original) << "leaf " << i;
+  }
+}
+
+TEST(Merkle, OrderMatters) {
+  auto leaves = make_leaves(4);
+  const Hash256 original = MerkleTree::root_of(leaves);
+  std::swap(leaves[1], leaves[2]);
+  EXPECT_NE(MerkleTree::root_of(leaves), original);
+}
+
+class MerkleProofTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleProofTest, EveryLeafProvesInclusion) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  const MerkleTree tree{leaves};
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto proof = tree.prove(i);
+    EXPECT_TRUE(MerkleTree::verify(leaves[i], proof, tree.root())) << "leaf " << i;
+  }
+}
+
+TEST_P(MerkleProofTest, ProofFailsForWrongLeaf) {
+  const std::size_t n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  const auto leaves = make_leaves(n);
+  const MerkleTree tree{leaves};
+  const auto proof = tree.prove(0);
+  EXPECT_FALSE(MerkleTree::verify(leaves[1], proof, tree.root()));
+}
+
+TEST_P(MerkleProofTest, ProofFailsAgainstWrongRoot) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  const MerkleTree tree{leaves};
+  Hash256 wrong_root = tree.root();
+  wrong_root[5] ^= 0xff;
+  EXPECT_FALSE(MerkleTree::verify(leaves[0], tree.prove(0), wrong_root));
+}
+
+INSTANTIATE_TEST_SUITE_P(LeafCounts, MerkleProofTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16, 33, 100));
+
+TEST(Merkle, ProveOutOfRangeThrows) {
+  const MerkleTree tree{make_leaves(4)};
+  EXPECT_THROW(tree.prove(4), std::out_of_range);
+}
+
+TEST(Merkle, TamperedProofFails) {
+  const auto leaves = make_leaves(8);
+  const MerkleTree tree{leaves};
+  auto proof = tree.prove(3);
+  proof[1].sibling[0] ^= 0x80;
+  EXPECT_FALSE(MerkleTree::verify(leaves[3], proof, tree.root()));
+}
+
+}  // namespace
+}  // namespace curb::crypto

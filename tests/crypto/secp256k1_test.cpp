@@ -1,0 +1,161 @@
+#include "curb/crypto/secp256k1.hpp"
+
+#include <gtest/gtest.h>
+
+namespace curb::crypto {
+namespace {
+
+namespace ec = secp256k1;
+
+TEST(Secp256k1, GeneratorIsOnCurve) {
+  EXPECT_TRUE(ec::on_curve(ec::generator()));
+}
+
+TEST(Secp256k1, TwoGMatchesKnownVector) {
+  const auto two_g = ec::point_double(ec::JacobianPoint::from_affine(ec::generator()))
+                         .to_affine();
+  EXPECT_EQ(two_g.x.to_hex(),
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5");
+  EXPECT_EQ(two_g.y.to_hex(),
+            "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a");
+}
+
+TEST(Secp256k1, ScalarMulMatchesRepeatedAddition) {
+  const auto g = ec::JacobianPoint::from_affine(ec::generator());
+  ec::JacobianPoint acc = ec::JacobianPoint::infinity();
+  for (int i = 0; i < 5; ++i) acc = ec::point_add(acc, g);
+  EXPECT_EQ(ec::scalar_mul(U256{5}, g).to_affine(), acc.to_affine());
+}
+
+TEST(Secp256k1, ScalarMulByOrderIsInfinity) {
+  const auto g = ec::JacobianPoint::from_affine(ec::generator());
+  EXPECT_TRUE(ec::scalar_mul(ec::group_order(), g).is_infinity());
+}
+
+TEST(Secp256k1, AdditionIsCommutative) {
+  const auto g = ec::JacobianPoint::from_affine(ec::generator());
+  const auto p = ec::scalar_mul(U256{123}, g);
+  const auto q = ec::scalar_mul(U256{456}, g);
+  EXPECT_EQ(ec::point_add(p, q).to_affine(), ec::point_add(q, p).to_affine());
+}
+
+TEST(Secp256k1, AddingInverseGivesInfinity) {
+  const auto g = ec::JacobianPoint::from_affine(ec::generator());
+  // (-1)G = (n-1)G; G + (n-1)G must be infinity.
+  U256 n_minus_1;
+  U256::sub_with_borrow(ec::group_order(), U256{1}, n_minus_1);
+  const auto neg_g = ec::scalar_mul(n_minus_1, g);
+  EXPECT_TRUE(ec::point_add(g, neg_g).is_infinity());
+}
+
+TEST(Secp256k1, InfinityIsIdentity) {
+  const auto g = ec::JacobianPoint::from_affine(ec::generator());
+  const auto inf = ec::JacobianPoint::infinity();
+  EXPECT_EQ(ec::point_add(g, inf).to_affine(), g.to_affine());
+  EXPECT_EQ(ec::point_add(inf, g).to_affine(), g.to_affine());
+  EXPECT_TRUE(ec::point_double(inf).is_infinity());
+}
+
+TEST(Secp256k1, FieldInverse) {
+  const U256 a = U256::from_hex("deadbeefcafebabe");
+  EXPECT_EQ(ec::fe_mul(a, ec::fe_inv(a)), U256{1});
+  EXPECT_THROW((void)ec::fe_inv(U256{}), std::domain_error);
+}
+
+TEST(Secp256k1, FieldMulAgainstGenericModMul) {
+  const U256 a = U256::from_hex("123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef0");
+  const U256 b = U256::from_hex("fedcba9876543210fedcba9876543210fedcba9876543210fedcba9876543210");
+  EXPECT_EQ(ec::fe_mul(a, b), U256::mul_mod(a, b, ec::field_prime()));
+}
+
+TEST(KeyPair, DeterministicFromSeed) {
+  const KeyPair a = KeyPair::from_seed("controller-0");
+  const KeyPair b = KeyPair::from_seed("controller-0");
+  const KeyPair c = KeyPair::from_seed("controller-1");
+  EXPECT_EQ(a.public_key(), b.public_key());
+  EXPECT_NE(a.public_key(), c.public_key());
+}
+
+TEST(KeyPair, PublicKeyIsOnCurve) {
+  const KeyPair kp = KeyPair::from_seed("any-seed");
+  EXPECT_TRUE(ec::on_curve(kp.public_key().point));
+}
+
+TEST(KeyPair, RejectsOutOfRangePrivate) {
+  EXPECT_THROW((void)KeyPair::from_private(U256{}), std::invalid_argument);
+  EXPECT_THROW((void)KeyPair::from_private(ec::group_order()), std::invalid_argument);
+}
+
+TEST(Ecdsa, SignVerifyRoundTrip) {
+  const KeyPair kp = KeyPair::from_seed("signer");
+  const Hash256 digest = Sha256::digest("a flow-table update transaction");
+  const Signature sig = kp.sign(digest);
+  EXPECT_TRUE(verify(kp.public_key(), digest, sig));
+}
+
+TEST(Ecdsa, SignIsDeterministic) {
+  const KeyPair kp = KeyPair::from_seed("signer");
+  const Hash256 digest = Sha256::digest("msg");
+  EXPECT_EQ(kp.sign(digest), kp.sign(digest));
+}
+
+TEST(Ecdsa, RejectsTamperedMessage) {
+  const KeyPair kp = KeyPair::from_seed("signer");
+  const Signature sig = kp.sign(Sha256::digest("original"));
+  EXPECT_FALSE(verify(kp.public_key(), Sha256::digest("tampered"), sig));
+}
+
+TEST(Ecdsa, RejectsWrongKey) {
+  const KeyPair alice = KeyPair::from_seed("alice");
+  const KeyPair bob = KeyPair::from_seed("bob");
+  const Hash256 digest = Sha256::digest("msg");
+  EXPECT_FALSE(verify(bob.public_key(), digest, alice.sign(digest)));
+}
+
+TEST(Ecdsa, RejectsTamperedSignature) {
+  const KeyPair kp = KeyPair::from_seed("signer");
+  const Hash256 digest = Sha256::digest("msg");
+  Signature sig = kp.sign(digest);
+  sig.s = U256::add_mod(sig.s, U256{1}, ec::group_order());
+  EXPECT_FALSE(verify(kp.public_key(), digest, sig));
+}
+
+TEST(Ecdsa, RejectsZeroSignatureComponents) {
+  const KeyPair kp = KeyPair::from_seed("signer");
+  const Hash256 digest = Sha256::digest("msg");
+  EXPECT_FALSE(verify(kp.public_key(), digest, Signature{U256{}, U256{1}}));
+  EXPECT_FALSE(verify(kp.public_key(), digest, Signature{U256{1}, U256{}}));
+  EXPECT_FALSE(verify(kp.public_key(), digest, Signature{ec::group_order(), U256{1}}));
+}
+
+TEST(Signature, BytesRoundTrip) {
+  const KeyPair kp = KeyPair::from_seed("signer");
+  const Signature sig = kp.sign(Sha256::digest("msg"));
+  const auto bytes = sig.to_bytes();
+  EXPECT_EQ(Signature::from_bytes(std::span<const std::uint8_t, 64>{bytes}), sig);
+}
+
+TEST(PublicKey, CompressedRoundTrip) {
+  for (const char* seed : {"a", "b", "c", "d", "e"}) {
+    const KeyPair kp = KeyPair::from_seed(seed);
+    const auto bytes = kp.public_key().to_bytes();
+    const auto restored = PublicKey::from_bytes(std::span<const std::uint8_t, 33>{bytes});
+    ASSERT_TRUE(restored.has_value()) << "seed " << seed;
+    EXPECT_EQ(*restored, kp.public_key());
+  }
+}
+
+TEST(PublicKey, RejectsBadPrefix) {
+  std::array<std::uint8_t, 33> bytes{};
+  bytes[0] = 0x05;
+  EXPECT_FALSE(PublicKey::from_bytes(std::span<const std::uint8_t, 33>{bytes}).has_value());
+}
+
+TEST(PublicKey, HexIdIsStable) {
+  const KeyPair kp = KeyPair::from_seed("id");
+  EXPECT_EQ(kp.public_key().to_hex().size(), 66u);
+  EXPECT_EQ(kp.public_key().to_hex(), kp.public_key().to_hex());
+}
+
+}  // namespace
+}  // namespace curb::crypto

@@ -1,0 +1,94 @@
+#include "curb/crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace curb::crypto {
+namespace {
+
+TEST(Sha256, EmptyStringVector) {
+  EXPECT_EQ(to_hex(Sha256::digest("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, AbcVector) {
+  EXPECT_EQ(to_hex(Sha256::digest("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockVector) {
+  EXPECT_EQ(to_hex(Sha256::digest("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  const std::string input(1'000'000, 'a');
+  EXPECT_EQ(to_hex(Sha256::digest(input)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 55, 56 and 64 bytes cross the padding boundary cases.
+  const std::string s55(55, 'x');
+  const std::string s56(56, 'x');
+  const std::string s64(64, 'x');
+  EXPECT_NE(to_hex(Sha256::digest(s55)), to_hex(Sha256::digest(s56)));
+  EXPECT_NE(to_hex(Sha256::digest(s56)), to_hex(Sha256::digest(s64)));
+  // Incremental must equal one-shot at every boundary.
+  for (const auto& s : {s55, s56, s64}) {
+    Sha256 inc;
+    for (const char c : s) inc.update(std::string_view{&c, 1});
+    EXPECT_EQ(inc.finish(), Sha256::digest(s));
+  }
+}
+
+TEST(Sha256, IncrementalMatchesOneShotOnChunks) {
+  const std::string data(1000, 'q');
+  Sha256 inc;
+  inc.update(std::string_view{data}.substr(0, 10));
+  inc.update(std::string_view{data}.substr(10, 100));
+  inc.update(std::string_view{data}.substr(110));
+  EXPECT_EQ(inc.finish(), Sha256::digest(data));
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+  Sha256 h;
+  h.update("abc");
+  (void)h.finish();
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(to_hex(h.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, DoubleDigestDiffersFromSingle) {
+  const std::string data = "block";
+  const auto bytes = std::span<const std::uint8_t>{
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()};
+  EXPECT_NE(Sha256::double_digest(bytes), Sha256::digest(bytes));
+  EXPECT_EQ(Sha256::double_digest(bytes),
+            Sha256::digest(std::span<const std::uint8_t>{Sha256::digest(bytes)}));
+}
+
+TEST(Hex, RoundTrip) {
+  const std::vector<std::uint8_t> data{0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(to_hex(std::span<const std::uint8_t>{data}), "0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), data);
+  EXPECT_EQ(from_hex("0001ABFF7F"), data);
+}
+
+TEST(Hex, RejectsMalformed) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);   // odd length
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);    // non-hex
+}
+
+TEST(Hex, ShortHexPrefix) {
+  Hash256 h{};
+  h[0] = 0xde;
+  h[1] = 0xad;
+  EXPECT_EQ(short_hex(h, 2), "dead");
+}
+
+}  // namespace
+}  // namespace curb::crypto

@@ -1,0 +1,165 @@
+#include "curb/net/message_bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "curb/net/link_model.hpp"
+#include "curb/net/topology.hpp"
+#include "curb/sim/simulator.hpp"
+
+namespace curb::net {
+namespace {
+
+using namespace curb::sim::literals;
+
+struct Fixture {
+  Fixture() : bus{sim, topo} {}
+
+  Topology make_line() {
+    const NodeId a = topo.add_node("a", NodeKind::kController, {0, 0});
+    const NodeId b = topo.add_node("b", NodeKind::kSwitch, {0, 0});
+    topo.add_link(a, b, 200.0);  // 200 km -> 1 ms propagation at 2e8 m/s
+    return topo;
+  }
+
+  sim::Simulator sim;
+  Topology topo;
+  MessageBus<std::string> bus;
+};
+
+TEST(LinkModel, PaperConstants) {
+  const LinkModel m;
+  // 200 km at 2*10^8 m/s = 1 ms.
+  EXPECT_EQ(m.propagation_delay(200.0), 1_ms);
+  // 12500 bytes = 100000 bits at 100 Mbps = 1 ms.
+  EXPECT_EQ(m.transmission_delay(12'500), 1_ms);
+  EXPECT_EQ(m.delay(200.0, 12'500), 2_ms);
+}
+
+TEST(LinkModel, OverheadAddsOncePerMessage) {
+  LinkModel m;
+  m.per_message_overhead = 100_us;
+  EXPECT_EQ(m.delay(0.0, 0), 100_us);
+}
+
+TEST(MessageBus, DeliversWithPropagationDelay) {
+  Fixture f;
+  f.make_line();
+  std::string received;
+  sim::SimTime at = sim::SimTime::zero();
+  f.bus.attach(NodeId{1}, [&](NodeId from, const std::string& msg) {
+    EXPECT_EQ(from, NodeId{0});
+    received = msg;
+    at = f.sim.now();
+  });
+  f.bus.send(NodeId{0}, NodeId{1}, "hello", 0, "test");
+  f.sim.run();
+  EXPECT_EQ(received, "hello");
+  EXPECT_EQ(at, 1_ms);
+}
+
+TEST(MessageBus, TransmissionDelayScalesWithBytes) {
+  Fixture f;
+  f.make_line();
+  sim::SimTime at = sim::SimTime::zero();
+  f.bus.attach(NodeId{1}, [&](NodeId, const std::string&) { at = f.sim.now(); });
+  f.bus.send(NodeId{0}, NodeId{1}, "big", 12'500, "test");
+  f.sim.run();
+  EXPECT_EQ(at, 2_ms);  // 1 ms propagation + 1 ms transmission
+}
+
+TEST(MessageBus, SelfSendSkipsPropagation) {
+  Fixture f;
+  f.make_line();
+  sim::SimTime at = 5_ms;
+  f.bus.attach(NodeId{0}, [&](NodeId, const std::string&) { at = f.sim.now(); });
+  f.bus.send(NodeId{0}, NodeId{0}, "note-to-self", 0, "test");
+  f.sim.run();
+  EXPECT_EQ(at, sim::SimTime::zero());
+}
+
+TEST(MessageBus, MulticastSkipsSender) {
+  Fixture f;
+  const NodeId a = f.topo.add_node("a", NodeKind::kController, {0, 0});
+  const NodeId b = f.topo.add_node("b", NodeKind::kController, {0, 0});
+  const NodeId c = f.topo.add_node("c", NodeKind::kController, {0, 0});
+  f.topo.add_link(a, b, 1.0);
+  f.topo.add_link(b, c, 1.0);
+  MessageBus<std::string> bus{f.sim, f.topo};
+  int a_got = 0;
+  int b_got = 0;
+  int c_got = 0;
+  bus.attach(a, [&](NodeId, const std::string&) { ++a_got; });
+  bus.attach(b, [&](NodeId, const std::string&) { ++b_got; });
+  bus.attach(c, [&](NodeId, const std::string&) { ++c_got; });
+  bus.multicast(a, {a, b, c}, "ping", 10, "gossip");
+  f.sim.run();
+  EXPECT_EQ(a_got, 0);
+  EXPECT_EQ(b_got, 1);
+  EXPECT_EQ(c_got, 1);
+}
+
+TEST(MessageBus, InterceptorCanDrop) {
+  Fixture f;
+  f.make_line();
+  int received = 0;
+  f.bus.attach(NodeId{1}, [&](NodeId, const std::string&) { ++received; });
+  f.bus.set_interceptor([](NodeId, NodeId, const std::string& msg)
+                            -> std::optional<sim::SimTime> {
+    if (msg == "drop-me") return std::nullopt;
+    return sim::SimTime::zero();
+  });
+  f.bus.send(NodeId{0}, NodeId{1}, "drop-me", 0, "test");
+  f.bus.send(NodeId{0}, NodeId{1}, "keep-me", 0, "test");
+  f.sim.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(MessageBus, InterceptorCanDelay) {
+  Fixture f;
+  f.make_line();
+  sim::SimTime at = sim::SimTime::zero();
+  f.bus.attach(NodeId{1}, [&](NodeId, const std::string&) { at = f.sim.now(); });
+  f.bus.set_interceptor(
+      [](NodeId, NodeId, const std::string&) -> std::optional<sim::SimTime> {
+        return 300_ms;  // lazy-node behaviour from the paper's experiment 3
+      });
+  f.bus.send(NodeId{0}, NodeId{1}, "slow", 0, "test");
+  f.sim.run();
+  EXPECT_EQ(at, 301_ms);
+}
+
+TEST(MessageBus, CountsMessagesByCategory) {
+  Fixture f;
+  f.make_line();
+  f.bus.attach(NodeId{1}, [](NodeId, const std::string&) {});
+  f.bus.send(NodeId{0}, NodeId{1}, "a", 100, "PKT-IN");
+  f.bus.send(NodeId{0}, NodeId{1}, "b", 50, "PKT-IN");
+  f.bus.send(NodeId{0}, NodeId{1}, "c", 10, "AGREE");
+  EXPECT_EQ(f.bus.stats().total_messages(), 3u);
+  EXPECT_EQ(f.bus.stats().total_bytes(), 160u);
+  EXPECT_EQ(f.bus.stats().messages("PKT-IN"), 2u);
+  EXPECT_EQ(f.bus.stats().messages("AGREE"), 1u);
+  EXPECT_EQ(f.bus.stats().messages("unknown"), 0u);
+  f.bus.stats().reset();
+  EXPECT_EQ(f.bus.stats().total_messages(), 0u);
+}
+
+TEST(MessageBus, UnattachedRecipientIsIgnored) {
+  Fixture f;
+  f.make_line();
+  f.bus.send(NodeId{0}, NodeId{1}, "void", 0, "test");
+  EXPECT_NO_THROW(f.sim.run());
+}
+
+TEST(MessageBus, AttachRejectsBadNode) {
+  Fixture f;
+  f.make_line();
+  EXPECT_THROW(f.bus.attach(NodeId{99}, [](NodeId, const std::string&) {}),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace curb::net

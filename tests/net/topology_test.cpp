@@ -1,0 +1,182 @@
+#include "curb/net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "curb/net/geo.hpp"
+
+namespace curb::net {
+namespace {
+
+Topology diamond() {
+  // a - b
+  // |   |
+  // c - d     with a-b short, a-c long
+  Topology t;
+  const NodeId a = t.add_node("a", NodeKind::kController, {0, 0});
+  const NodeId b = t.add_node("b", NodeKind::kSwitch, {0, 1});
+  const NodeId c = t.add_node("c", NodeKind::kSwitch, {1, 0});
+  const NodeId d = t.add_node("d", NodeKind::kSwitch, {1, 1});
+  t.add_link(a, b, 1.0);
+  t.add_link(a, c, 10.0);
+  t.add_link(b, d, 1.0);
+  t.add_link(c, d, 1.0);
+  return t;
+}
+
+TEST(Geo, KnownDistances) {
+  // New York <-> Los Angeles is roughly 3940 km.
+  const GeoPoint nyc{40.71, -74.01};
+  const GeoPoint la{34.05, -118.24};
+  EXPECT_NEAR(great_circle_km(nyc, la), 3940.0, 50.0);
+  EXPECT_DOUBLE_EQ(great_circle_km(nyc, nyc), 0.0);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(great_circle_km(nyc, la), great_circle_km(la, nyc));
+}
+
+TEST(Topology, AddAndQueryNodes) {
+  Topology t;
+  const NodeId a = t.add_node("ctl", NodeKind::kController, {1, 2});
+  EXPECT_EQ(t.node_count(), 1u);
+  EXPECT_EQ(t.node(a).name, "ctl");
+  EXPECT_EQ(t.node(a).kind, NodeKind::kController);
+  EXPECT_EQ(t.find_by_name("ctl"), a);
+  EXPECT_FALSE(t.find_by_name("nope").has_value());
+  EXPECT_THROW((void)t.node(NodeId{5}), std::out_of_range);
+}
+
+TEST(Topology, NodesOfKind) {
+  const Topology t = diamond();
+  EXPECT_EQ(t.nodes_of_kind(NodeKind::kController).size(), 1u);
+  EXPECT_EQ(t.nodes_of_kind(NodeKind::kSwitch).size(), 3u);
+  EXPECT_TRUE(t.nodes_of_kind(NodeKind::kHost).empty());
+}
+
+TEST(Topology, RejectsBadLinks) {
+  Topology t;
+  const NodeId a = t.add_node("a", NodeKind::kSwitch, {0, 0});
+  EXPECT_THROW(t.add_link(a, a), std::invalid_argument);
+  EXPECT_THROW(t.add_link(a, NodeId{3}), std::out_of_range);
+  const NodeId b = t.add_node("b", NodeKind::kSwitch, {0, 1});
+  EXPECT_THROW(t.add_link(a, b, -1.0), std::invalid_argument);
+}
+
+TEST(Topology, ShortestDistanceAvoidsLongEdge) {
+  const Topology t = diamond();
+  const NodeId a{0};
+  const NodeId c{2};
+  // a->c direct is 10; a->b->d->c is 3.
+  EXPECT_DOUBLE_EQ(t.distance_km(a, c), 3.0);
+}
+
+TEST(Topology, ShortestPathNodeSequence) {
+  const Topology t = diamond();
+  const auto path = t.shortest_path(NodeId{0}, NodeId{2});
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path.front(), NodeId{0});
+  EXPECT_EQ(path[1], NodeId{1});
+  EXPECT_EQ(path[2], NodeId{3});
+  EXPECT_EQ(path.back(), NodeId{2});
+}
+
+TEST(Topology, PathToSelf) {
+  const Topology t = diamond();
+  EXPECT_DOUBLE_EQ(t.distance_km(NodeId{0}, NodeId{0}), 0.0);
+  EXPECT_EQ(t.shortest_path(NodeId{0}, NodeId{0}), std::vector<NodeId>{NodeId{0}});
+}
+
+TEST(Topology, UnreachableIsInfinity) {
+  Topology t;
+  const NodeId a = t.add_node("a", NodeKind::kSwitch, {0, 0});
+  const NodeId b = t.add_node("b", NodeKind::kSwitch, {5, 5});
+  EXPECT_EQ(t.distance_km(a, b), Topology::kUnreachable);
+  EXPECT_TRUE(t.shortest_path(a, b).empty());
+  EXPECT_FALSE(t.connected());
+}
+
+TEST(Topology, CacheInvalidatedByMutation) {
+  Topology t;
+  const NodeId a = t.add_node("a", NodeKind::kSwitch, {0, 0});
+  const NodeId b = t.add_node("b", NodeKind::kSwitch, {0, 1});
+  t.add_link(a, b, 7.0);
+  EXPECT_DOUBLE_EQ(t.distance_km(a, b), 7.0);
+  t.add_link(a, b, 2.0);  // parallel shorter link
+  EXPECT_DOUBLE_EQ(t.distance_km(a, b), 2.0);
+}
+
+TEST(Topology, DistanceIsSymmetricOnUndirectedGraph) {
+  const Topology t = internet2();
+  const NodeId x{3};
+  const NodeId y{40};
+  EXPECT_DOUBLE_EQ(t.distance_km(x, y), t.distance_km(y, x));
+}
+
+TEST(Internet2, ShapeMatchesPaper) {
+  const Topology t = internet2();
+  EXPECT_EQ(t.node_count(), 50u);
+  EXPECT_EQ(t.nodes_of_kind(NodeKind::kController).size(), 16u);
+  EXPECT_EQ(t.nodes_of_kind(NodeKind::kSwitch).size(), 34u);
+  EXPECT_TRUE(t.connected());
+}
+
+TEST(Internet2, ControllerCitiesResolve) {
+  const Topology t = internet2();
+  for (const auto& city : internet2_controller_cities()) {
+    const auto id = t.find_by_name(city);
+    ASSERT_TRUE(id.has_value()) << city;
+    EXPECT_EQ(t.node(*id).kind, NodeKind::kController);
+  }
+  for (const auto& city : internet2_switch_cities()) {
+    const auto id = t.find_by_name(city);
+    ASSERT_TRUE(id.has_value()) << city;
+    EXPECT_EQ(t.node(*id).kind, NodeKind::kSwitch);
+  }
+}
+
+TEST(Internet2, CrossCountryDistanceIsPlausible) {
+  const Topology t = internet2();
+  const auto seattle = t.find_by_name("Seattle");
+  const auto miami = t.find_by_name("Miami");
+  ASSERT_TRUE(seattle && miami);
+  const double d = t.distance_km(*seattle, *miami);
+  // Seattle->Miami along the network must exceed the 4,400 km great-circle
+  // distance but stay under a 2.5x detour.
+  EXPECT_GT(d, 4400.0);
+  EXPECT_LT(d, 11000.0);
+}
+
+TEST(Internet2, Deterministic) {
+  const Topology a = internet2();
+  const Topology b = internet2();
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.link_count(), b.link_count());
+  EXPECT_DOUBLE_EQ(a.distance_km(NodeId{0}, NodeId{49}), b.distance_km(NodeId{0}, NodeId{49}));
+}
+
+class RandomTopologyTest : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {
+};
+
+TEST_P(RandomTopologyTest, IsConnectedWithRightCounts) {
+  const auto [ctls, sws] = GetParam();
+  const Topology t = random_geo_topology(ctls, sws, 1234);
+  EXPECT_EQ(t.nodes_of_kind(NodeKind::kController).size(), ctls);
+  EXPECT_EQ(t.nodes_of_kind(NodeKind::kSwitch).size(), sws);
+  EXPECT_TRUE(t.connected());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomTopologyTest,
+                         ::testing::Values(std::pair<std::size_t, std::size_t>{4, 8},
+                                           std::pair<std::size_t, std::size_t>{16, 34},
+                                           std::pair<std::size_t, std::size_t>{32, 64},
+                                           std::pair<std::size_t, std::size_t>{64, 128}));
+
+TEST(RandomTopology, DeterministicPerSeed) {
+  const Topology a = random_geo_topology(8, 16, 42);
+  const Topology b = random_geo_topology(8, 16, 42);
+  EXPECT_EQ(a.link_count(), b.link_count());
+  EXPECT_DOUBLE_EQ(a.distance_km(NodeId{0}, NodeId{10}), b.distance_km(NodeId{0}, NodeId{10}));
+  const Topology c = random_geo_topology(8, 16, 43);
+  EXPECT_NE(a.distance_km(NodeId{0}, NodeId{10}), c.distance_km(NodeId{0}, NodeId{10}));
+}
+
+}  // namespace
+}  // namespace curb::net

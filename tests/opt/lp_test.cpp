@@ -1,0 +1,150 @@
+#include "curb/opt/lp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace curb::opt {
+namespace {
+
+TEST(Lp, SimpleTwoVariableMaximizationAsMinimization) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0  -> x=4, y=0, obj=12.
+  LpProblem p;
+  const int x = p.add_variable(-3.0);
+  const int y = p.add_variable(-2.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, LpProblem::Sense::kLe, 4.0);
+  p.add_constraint({{x, 1.0}, {y, 3.0}}, LpProblem::Sense::kLe, 6.0);
+  const LpSolution s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -12.0, 1e-6);
+  EXPECT_NEAR(s.values[0], 4.0, 1e-6);
+  EXPECT_NEAR(s.values[1], 0.0, 1e-6);
+}
+
+TEST(Lp, GreaterEqualAndEquality) {
+  // min x + y s.t. x + y >= 3, x - y = 1 -> x=2, y=1, obj=3.
+  LpProblem p;
+  const int x = p.add_variable(1.0);
+  const int y = p.add_variable(1.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, LpProblem::Sense::kGe, 3.0);
+  p.add_constraint({{x, 1.0}, {y, -1.0}}, LpProblem::Sense::kEq, 1.0);
+  const LpSolution s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-6);
+  EXPECT_NEAR(s.values[0], 2.0, 1e-6);
+  EXPECT_NEAR(s.values[1], 1.0, 1e-6);
+}
+
+TEST(Lp, RespectsUpperBounds) {
+  // min -x - y with x <= 0.5, y <= 0.25 -> both at upper bound.
+  LpProblem p;
+  const int x = p.add_variable(-1.0, 0.0, 0.5);
+  const int y = p.add_variable(-1.0, 0.0, 0.25);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, LpProblem::Sense::kLe, 10.0);
+  const LpSolution s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.values[0], 0.5, 1e-6);
+  EXPECT_NEAR(s.values[1], 0.25, 1e-6);
+}
+
+TEST(Lp, BoundFlipPath) {
+  // min -x s.t. y - x >= 0, x,y in [0,1]: x=1 forces y=1 via the constraint.
+  LpProblem p;
+  const int x = p.add_variable(-1.0, 0.0, 1.0);
+  const int y = p.add_variable(0.0, 0.0, 1.0);
+  p.add_constraint({{y, 1.0}, {x, -1.0}}, LpProblem::Sense::kGe, 0.0);
+  const LpSolution s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.values[0], 1.0, 1e-6);
+}
+
+TEST(Lp, DetectsInfeasible) {
+  LpProblem p;
+  const int x = p.add_variable(1.0, 0.0, 1.0);
+  p.add_constraint({{x, 1.0}}, LpProblem::Sense::kGe, 2.0);  // x >= 2 but x <= 1
+  EXPECT_EQ(solve_lp(p).status, LpStatus::kInfeasible);
+}
+
+TEST(Lp, DetectsInfeasibleSystem) {
+  LpProblem p;
+  const int x = p.add_variable(0.0);
+  const int y = p.add_variable(0.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, LpProblem::Sense::kLe, 1.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, LpProblem::Sense::kGe, 2.0);
+  EXPECT_EQ(solve_lp(p).status, LpStatus::kInfeasible);
+}
+
+TEST(Lp, DetectsUnbounded) {
+  LpProblem p;
+  const int x = p.add_variable(-1.0);  // min -x, x unbounded above
+  p.add_constraint({{x, 1.0}}, LpProblem::Sense::kGe, 0.0);
+  EXPECT_EQ(solve_lp(p).status, LpStatus::kUnbounded);
+}
+
+TEST(Lp, DegenerateProblemTerminates) {
+  // Klee-Minty-flavoured degenerate rows should not cycle.
+  LpProblem p;
+  const int x = p.add_variable(-1.0, 0.0, 1.0);
+  const int y = p.add_variable(-1.0, 0.0, 1.0);
+  const int z = p.add_variable(-1.0, 0.0, 1.0);
+  p.add_constraint({{x, 1.0}}, LpProblem::Sense::kLe, 0.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, LpProblem::Sense::kLe, 1.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}, {z, 1.0}}, LpProblem::Sense::kLe, 1.0);
+  const LpSolution s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -1.0, 1e-6);
+  EXPECT_NEAR(s.values[0], 0.0, 1e-6);
+}
+
+TEST(Lp, EqualityOnlySystem) {
+  // min x+2y s.t. x+y=2, x-y=0 -> x=y=1, obj=3.
+  LpProblem p;
+  const int x = p.add_variable(1.0);
+  const int y = p.add_variable(2.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, LpProblem::Sense::kEq, 2.0);
+  p.add_constraint({{x, 1.0}, {y, -1.0}}, LpProblem::Sense::kEq, 0.0);
+  const LpSolution s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-6);
+}
+
+TEST(Lp, FixedVariableViaBounds) {
+  LpProblem p;
+  const int x = p.add_variable(1.0, 0.0, 1.0);
+  const int y = p.add_variable(1.0, 0.0, 1.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, LpProblem::Sense::kGe, 1.0);
+  p.set_bounds(x, 1.0, 1.0);  // pin x = 1
+  const LpSolution s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.values[0], 1.0, 1e-9);
+  EXPECT_NEAR(s.values[1], 0.0, 1e-9);
+}
+
+TEST(Lp, RejectsBadInput) {
+  LpProblem p;
+  EXPECT_THROW((void)p.add_variable(1.0, 2.0, 1.0), std::invalid_argument);
+  const int x = p.add_variable(1.0);
+  EXPECT_THROW(p.add_constraint({{x + 5, 1.0}}, LpProblem::Sense::kLe, 1.0),
+               std::out_of_range);
+  EXPECT_THROW(p.set_bounds(x, 3.0, 2.0), std::invalid_argument);
+}
+
+TEST(Lp, MediumRandomCoverInstanceSolves) {
+  // A 20-switch / 10-controller style covering relaxation: each "switch"
+  // needs coverage >= 2 from a random eligible subset.
+  LpProblem p;
+  std::vector<int> vars;
+  for (int j = 0; j < 10; ++j) vars.push_back(p.add_variable(1.0, 0.0, 1.0));
+  for (int i = 0; i < 20; ++i) {
+    std::vector<std::pair<int, double>> terms;
+    for (int j = 0; j < 10; ++j) {
+      if ((i + j) % 3 != 0) terms.push_back({vars[static_cast<std::size_t>(j)], 1.0});
+    }
+    p.add_constraint(std::move(terms), LpProblem::Sense::kGe, 2.0);
+  }
+  const LpSolution s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_GT(s.objective, 0.0);
+  EXPECT_LE(s.objective, 10.0);
+}
+
+}  // namespace
+}  // namespace curb::opt

@@ -1,0 +1,110 @@
+// Robustness fuzzing for every wire codec: random bytes and truncations of
+// valid encodings must never crash, corrupt memory, or be silently
+// accepted as valid protocol objects — they must either decode to a value
+// or throw. (A byzantine peer controls these bytes.)
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "curb/chain/block.hpp"
+#include "curb/chain/transaction.hpp"
+#include "curb/core/assignment_state.hpp"
+#include "curb/core/codec.hpp"
+#include "curb/sdn/flow.hpp"
+#include "curb/sdn/policy.hpp"
+#include "curb/sim/rng.hpp"
+
+namespace curb {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(sim::Rng& rng, std::size_t max_len) {
+  std::vector<std::uint8_t> out(rng.next_below(max_len + 1));
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return out;
+}
+
+template <typename Decode>
+void expect_no_crash(const std::vector<std::uint8_t>& bytes, Decode decode) {
+  try {
+    decode(bytes);
+  } catch (const std::exception&) {
+    // Throwing a typed exception is the correct rejection path.
+  }
+}
+
+class CodecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecFuzz, RandomBytesNeverCrashAnyDecoder) {
+  sim::Rng rng{GetParam()};
+  for (int round = 0; round < 200; ++round) {
+    const auto bytes = random_bytes(rng, 160);
+    expect_no_crash(bytes, [](const auto& b) { (void)chain::Transaction::deserialize(b); });
+    expect_no_crash(bytes, [](const auto& b) { (void)chain::Block::deserialize(b); });
+    expect_no_crash(bytes, [](const auto& b) { (void)chain::BlockHeader::deserialize(b); });
+    expect_no_crash(bytes, [](const auto& b) { (void)sdn::FlowEntry::deserialize(b); });
+    expect_no_crash(bytes,
+                    [](const auto& b) { (void)sdn::FlowEntry::deserialize_list(b); });
+    expect_no_crash(bytes, [](const auto& b) { (void)sdn::PolicyRule::deserialize(b); });
+    expect_no_crash(bytes, [](const auto& b) { (void)sdn::PolicyTable::deserialize(b); });
+    expect_no_crash(bytes,
+                    [](const auto& b) { (void)core::AssignmentState::deserialize(b); });
+    expect_no_crash(bytes, [](const auto& b) { (void)core::deserialize_tx_list(b); });
+    expect_no_crash(bytes, [](const auto& b) { (void)core::deserialize_packet(b); });
+    expect_no_crash(bytes, [](const auto& b) { (void)core::deserialize_id_list(b); });
+  }
+}
+
+TEST_P(CodecFuzz, TruncationsOfValidEncodingsAreRejectedNotCrashed) {
+  sim::Rng rng{GetParam()};
+  chain::Transaction tx{chain::RequestType::kPacketIn, 3, 7, 42, {0x01, 0x02, 0x03}};
+  const chain::Block block =
+      chain::Block::create(1, crypto::Sha256::digest("prev"), {tx}, 55, 2);
+  const std::vector<std::vector<std::uint8_t>> valid = {
+      tx.serialize(),
+      block.serialize(),
+      sdn::FlowEntry{}.serialize(),
+      sdn::PolicyRule{}.serialize(),
+      core::serialize_packet({1, 2, 3, 4}),
+      core::serialize_id_list({9, 8, 7}),
+  };
+  for (const auto& bytes : valid) {
+    for (int round = 0; round < 20; ++round) {
+      auto cut = bytes;
+      cut.resize(rng.next_below(bytes.size()));
+      expect_no_crash(cut, [](const auto& b) { (void)chain::Transaction::deserialize(b); });
+      expect_no_crash(cut, [](const auto& b) { (void)chain::Block::deserialize(b); });
+      expect_no_crash(cut, [](const auto& b) { (void)sdn::FlowEntry::deserialize(b); });
+      expect_no_crash(cut, [](const auto& b) { (void)sdn::PolicyRule::deserialize(b); });
+      expect_no_crash(cut, [](const auto& b) { (void)core::deserialize_packet(b); });
+      expect_no_crash(cut, [](const auto& b) { (void)core::deserialize_id_list(b); });
+    }
+  }
+}
+
+TEST_P(CodecFuzz, BitFlipsOnBlocksAreDetectedOrRejected) {
+  sim::Rng rng{GetParam()};
+  chain::Transaction tx{chain::RequestType::kReassign, 1, 2, 3, {0xde, 0xad}};
+  const chain::Block block = chain::Block::create(4, crypto::Sha256::digest("p"), {tx}, 9, 1);
+  const auto bytes = block.serialize();
+  for (int round = 0; round < 100; ++round) {
+    auto mutated = bytes;
+    mutated[rng.next_below(mutated.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.next_below(255));
+    try {
+      const chain::Block decoded = chain::Block::deserialize(mutated);
+      // If it decodes, a body mutation must be caught by the Merkle root
+      // and a header mutation must change the hash.
+      if (decoded.well_formed() && decoded == block) continue;  // flip was a no-op? No:
+      EXPECT_TRUE(!decoded.well_formed() || decoded.hash() != block.hash() ||
+                  decoded == block);
+    } catch (const std::exception&) {
+      // Rejection is fine.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace curb

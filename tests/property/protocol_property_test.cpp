@@ -1,0 +1,139 @@
+// Property tests across the consensus and crypto layers: PBFT safety and
+// liveness over group sizes and fault loads; ECDSA over random keys and
+// messages; end-to-end Curb invariants over random topologies.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "curb/bft/group.hpp"
+#include "curb/core/simulation.hpp"
+#include "curb/crypto/secp256k1.hpp"
+#include "curb/sim/rng.hpp"
+
+namespace curb {
+namespace {
+
+using namespace curb::sim::literals;
+
+// --- Consensus over (engine, group size) -------------------------------------
+
+using EngineAndSize = std::tuple<bft::ConsensusEngine, std::size_t>;
+
+class ConsensusGroupSize : public ::testing::TestWithParam<EngineAndSize> {
+ protected:
+  [[nodiscard]] bft::PbftGroup::Options options() const {
+    bft::PbftGroup::Options opts;
+    opts.engine = std::get<0>(GetParam());
+    opts.group_size = std::get<1>(GetParam());
+    return opts;
+  }
+};
+
+TEST_P(ConsensusGroupSize, AllHonestAgreeOnOrder) {
+  const std::size_t n = std::get<1>(GetParam());
+  sim::Simulator simulator;
+  bft::PbftGroup group{simulator, options()};
+  for (int i = 0; i < 4; ++i) {
+    group.replica(0).propose({static_cast<std::uint8_t>(i)});
+  }
+  simulator.run();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ASSERT_EQ(group.delivered(i).size(), 4u) << "replica " << i;
+    EXPECT_EQ(group.delivered(i), group.delivered(0));
+  }
+}
+
+TEST_P(ConsensusGroupSize, ToleratesMaxFaults) {
+  const std::size_t n = std::get<1>(GetParam());
+  const std::size_t f = (n - 1) / 3;
+  sim::Simulator simulator;
+  bft::PbftGroup group{simulator, options()};
+  // Silence the LAST f replicas (never the leader).
+  for (std::size_t i = 0; i < f; ++i) {
+    group.replica(static_cast<std::uint32_t>(n - 1 - i)).set_behavior(bft::Behavior::kSilent);
+  }
+  group.replica(0).propose({0x42});
+  simulator.run_until(400_ms);
+  EXPECT_GE(group.replicas_delivered_at_least(1), n - f);
+}
+
+TEST_P(ConsensusGroupSize, MessageCountDependsOnlyOnGroupSize) {
+  auto count = [this] {
+    sim::Simulator simulator;
+    bft::PbftGroup group{simulator, options()};
+    group.replica(0).propose({0x01});
+    simulator.run_until(400_ms);
+    return group.messages_sent();
+  };
+  EXPECT_EQ(count(), count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnginesAndSizes, ConsensusGroupSize,
+    ::testing::Combine(::testing::Values(bft::ConsensusEngine::kPbft,
+                                         bft::ConsensusEngine::kHotstuff),
+                       ::testing::Values<std::size_t>(4, 5, 7, 10, 13)),
+    [](const auto& info) {
+      return std::string{bft::to_string(std::get<0>(info.param))} + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --- ECDSA over random keys --------------------------------------------------
+
+class EcdsaRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EcdsaRandom, SignVerifyAndTamperReject) {
+  sim::Rng rng{GetParam()};
+  const auto key =
+      crypto::KeyPair::from_seed("prop-key-" + std::to_string(rng.next_u64()));
+  const auto digest =
+      crypto::Sha256::digest("prop-msg-" + std::to_string(rng.next_u64()));
+  const auto sig = key.sign(digest);
+  EXPECT_TRUE(crypto::verify(key.public_key(), digest, sig));
+
+  auto tampered = digest;
+  tampered[rng.next_below(32)] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+  EXPECT_FALSE(crypto::verify(key.public_key(), tampered, sig));
+
+  const auto bytes = key.public_key().to_bytes();
+  const auto restored =
+      crypto::PublicKey::from_bytes(std::span<const std::uint8_t, 33>{bytes});
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(crypto::verify(*restored, digest, sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EcdsaRandom, ::testing::Range<std::uint64_t>(1, 13));
+
+// --- End-to-end Curb invariants over random topologies -----------------------
+
+class CurbRandomTopology : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CurbRandomTopology, RoundInvariants) {
+  core::CurbOptions opts;
+  opts.seed = GetParam();
+  opts.controller_capacity = 10.0;
+  opts.op_time_mode = core::OpTimeMode::kFixed;
+  core::CurbSimulation sim{net::random_geo_topology(8, 12, GetParam()), opts};
+
+  const auto m = sim.run_packet_in_round();
+  // Liveness: every request served in a fault-free round.
+  EXPECT_EQ(m.accepted, m.issued);
+  // Safety: all chains identical, all served requests on-chain.
+  EXPECT_TRUE(sim.chains_consistent());
+  const auto& chain = sim.network().controller(0).blockchain();
+  EXPECT_GE(chain.total_transactions(), m.accepted);
+  // Every block in every replica validates.
+  for (std::uint64_t h = 0; h <= chain.height(); ++h) {
+    EXPECT_TRUE(chain.at(h).well_formed());
+    if (h > 0) {
+      EXPECT_EQ(chain.at(h).header().prev_hash, chain.at(h - 1).hash());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CurbRandomTopology, ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace curb

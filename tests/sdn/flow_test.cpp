@@ -1,0 +1,121 @@
+#include "curb/sdn/flow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace curb::sdn {
+namespace {
+
+using namespace curb::sim::literals;
+
+FlowEntry forward_to(std::uint32_t dst, std::uint32_t port, std::uint16_t priority = 10) {
+  FlowEntry e;
+  e.match.dst_host = dst;
+  e.action = {FlowAction::Kind::kForward, port};
+  e.priority = priority;
+  return e;
+}
+
+TEST(FlowMatch, WildcardMatchesEverything) {
+  const FlowMatch any;
+  EXPECT_TRUE(any.matches(Packet{1, 2, 0}));
+  EXPECT_TRUE(any.matches(Packet{9, 9, 0}));
+  const FlowMatch specific{5};
+  EXPECT_TRUE(specific.matches(Packet{1, 5, 0}));
+  EXPECT_FALSE(specific.matches(Packet{5, 1, 0}));
+}
+
+TEST(FlowEntry, SerializeRoundTrip) {
+  FlowEntry e = forward_to(7, 3, 42);
+  e.hard_expiry = 1500_ms;
+  const auto bytes = e.serialize();
+  const FlowEntry restored = FlowEntry::deserialize(bytes);
+  EXPECT_TRUE(restored.same_rule(e));
+  EXPECT_EQ(restored.hard_expiry, e.hard_expiry);
+}
+
+TEST(FlowEntry, ListSerializeRoundTrip) {
+  const std::vector<FlowEntry> list{forward_to(1, 2), forward_to(3, 4, 99)};
+  const auto bytes = FlowEntry::serialize_list(list);
+  const auto restored = FlowEntry::deserialize_list(bytes);
+  ASSERT_EQ(restored.size(), 2u);
+  EXPECT_TRUE(restored[0].same_rule(list[0]));
+  EXPECT_TRUE(restored[1].same_rule(list[1]));
+}
+
+TEST(FlowEntry, SameRuleIgnoresCounters) {
+  FlowEntry a = forward_to(1, 2);
+  FlowEntry b = a;
+  b.packet_count = 99;
+  EXPECT_TRUE(a.same_rule(b));
+  b.priority = 11;
+  EXPECT_FALSE(a.same_rule(b));
+}
+
+TEST(FlowTable, LookupRespectsPriority) {
+  FlowTable t;
+  t.install(forward_to(FlowMatch::kAny, 1, 0));  // low-priority wildcard
+  t.install(forward_to(5, 2, 10));               // specific, higher priority
+  FlowEntry* hit = t.lookup(Packet{0, 5, 1}, sim::SimTime::zero());
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->action.out_port, 2u);
+  hit = t.lookup(Packet{0, 6, 2}, sim::SimTime::zero());
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->action.out_port, 1u);
+}
+
+TEST(FlowTable, LookupBumpsCounters) {
+  FlowTable t;
+  t.install(forward_to(5, 2));
+  (void)t.lookup(Packet{0, 5, 1, 100}, sim::SimTime::zero());
+  (void)t.lookup(Packet{0, 5, 2, 200}, sim::SimTime::zero());
+  EXPECT_EQ(t.entries()[0].packet_count, 2u);
+  EXPECT_EQ(t.entries()[0].byte_count, 300u);
+}
+
+TEST(FlowTable, PeekDoesNotMutate) {
+  FlowTable t;
+  t.install(forward_to(5, 2));
+  EXPECT_NE(t.peek(Packet{0, 5, 1}, sim::SimTime::zero()), nullptr);
+  EXPECT_EQ(t.entries()[0].packet_count, 0u);
+  EXPECT_EQ(t.peek(Packet{0, 9, 1}, sim::SimTime::zero()), nullptr);
+}
+
+TEST(FlowTable, InstallReplacesSameMatchAndPriority) {
+  FlowTable t;
+  t.install(forward_to(5, 2, 10));
+  t.install(forward_to(5, 7, 10));  // replaces
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.peek(Packet{0, 5, 1}, sim::SimTime::zero())->action.out_port, 7u);
+  t.install(forward_to(5, 9, 20));  // different priority: coexists
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.peek(Packet{0, 5, 1}, sim::SimTime::zero())->action.out_port, 9u);
+}
+
+TEST(FlowTable, RemoveByMatch) {
+  FlowTable t;
+  t.install(forward_to(5, 2, 10));
+  t.install(forward_to(5, 3, 20));
+  t.install(forward_to(6, 4, 10));
+  EXPECT_EQ(t.remove(FlowMatch{5}), 2u);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.remove(FlowMatch{5}), 0u);
+}
+
+TEST(FlowTable, ExpiryHidesAndEvicts) {
+  FlowTable t;
+  FlowEntry e = forward_to(5, 2);
+  e.hard_expiry = 100_ms;
+  t.install(e);
+  EXPECT_NE(t.peek(Packet{0, 5, 1}, 50_ms), nullptr);
+  EXPECT_EQ(t.peek(Packet{0, 5, 1}, 100_ms), nullptr);  // expired entries hidden
+  EXPECT_EQ(t.expire(100_ms), 1u);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(FlowTable, MissReturnsNull) {
+  FlowTable t;
+  EXPECT_EQ(t.lookup(Packet{0, 5, 1}, sim::SimTime::zero()), nullptr);
+}
+
+}  // namespace
+}  // namespace curb::sdn

@@ -1,0 +1,75 @@
+#include "curb/sdn/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace curb::sdn {
+namespace {
+
+PolicyRule deny(std::uint32_t src, std::uint32_t dst, std::uint16_t priority = 10) {
+  return PolicyRule{src, dst, PolicyRule::Action::kDeny, priority};
+}
+
+TEST(PolicyRule, MatchingWithWildcards) {
+  const PolicyRule exact = deny(1, 2);
+  EXPECT_TRUE(exact.matches(1, 2));
+  EXPECT_FALSE(exact.matches(2, 1));
+  const PolicyRule any_src = deny(PolicyRule::kAny, 2);
+  EXPECT_TRUE(any_src.matches(7, 2));
+  EXPECT_FALSE(any_src.matches(7, 3));
+  const PolicyRule all{PolicyRule::kAny, PolicyRule::kAny, PolicyRule::Action::kDeny, 0};
+  EXPECT_TRUE(all.matches(9, 9));
+}
+
+TEST(PolicyRule, SerializeRoundTrip) {
+  const PolicyRule rule{3, PolicyRule::kAny, PolicyRule::Action::kAllow, 42};
+  EXPECT_EQ(PolicyRule::deserialize(rule.serialize()), rule);
+}
+
+TEST(PolicyTable, DefaultIsAllow) {
+  const PolicyTable table;
+  EXPECT_TRUE(table.allows(1, 2));
+}
+
+TEST(PolicyTable, DenyRuleBlocksPair) {
+  PolicyTable table;
+  table.install(deny(1, 2));
+  EXPECT_FALSE(table.allows(1, 2));
+  EXPECT_TRUE(table.allows(2, 1));
+}
+
+TEST(PolicyTable, HigherPriorityWins) {
+  PolicyTable table;
+  table.install({PolicyRule::kAny, 2, PolicyRule::Action::kDeny, 10});
+  table.install({1, 2, PolicyRule::Action::kAllow, 20});  // carve-out
+  EXPECT_TRUE(table.allows(1, 2));   // the allow carve-out wins
+  EXPECT_FALSE(table.allows(3, 2));  // everyone else is denied
+}
+
+TEST(PolicyTable, InstallSameMatchReplacesAction) {
+  PolicyTable table;
+  table.install(deny(1, 2));
+  EXPECT_FALSE(table.allows(1, 2));
+  table.install({1, 2, PolicyRule::Action::kAllow, 10});
+  EXPECT_TRUE(table.allows(1, 2));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(PolicyTable, RemoveRestoresDefault) {
+  PolicyTable table;
+  const PolicyRule rule = deny(1, 2);
+  table.install(rule);
+  EXPECT_EQ(table.remove(rule), 1u);
+  EXPECT_TRUE(table.allows(1, 2));
+  EXPECT_EQ(table.remove(rule), 0u);
+}
+
+TEST(PolicyTable, SerializeRoundTrip) {
+  PolicyTable table;
+  table.install(deny(1, 2));
+  table.install({PolicyRule::kAny, 5, PolicyRule::Action::kAllow, 3});
+  EXPECT_EQ(PolicyTable::deserialize(table.serialize()), table);
+  EXPECT_EQ(PolicyTable::deserialize(PolicyTable{}.serialize()).size(), 0u);
+}
+
+}  // namespace
+}  // namespace curb::sdn

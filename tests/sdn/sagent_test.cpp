@@ -1,0 +1,261 @@
+#include "curb/sdn/sagent.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace curb::sdn {
+namespace {
+
+using namespace curb::sim::literals;
+
+struct AgentFixture {
+  explicit AgentFixture(SAgent::Config cfg = {.switch_id = 3, .f = 1})
+      : agent{cfg, sim,
+              [this](const RequestMsg& m) { broadcasts.push_back(m); },
+              [this](const RequestMsg& m, const std::vector<std::uint8_t>& config) {
+                accepts.push_back({m, config});
+              },
+              [this](const std::vector<std::uint32_t>& ids, ByzantineReason reason) {
+                for (const auto id : ids) reports.push_back({id, reason});
+              }} {
+    agent.set_controller_group({10, 11, 12, 13});
+  }
+
+  std::vector<std::uint8_t> config_a{0x01, 0x02};
+  std::vector<std::uint8_t> config_b{0x09};
+
+  sim::Simulator sim;
+  std::vector<RequestMsg> broadcasts;
+  std::vector<std::pair<RequestMsg, std::vector<std::uint8_t>>> accepts;
+  std::vector<std::pair<std::uint32_t, ByzantineReason>> reports;
+  SAgent agent;
+};
+
+TEST(SAgent, BroadcastsRequests) {
+  AgentFixture f;
+  const auto id = f.agent.send_request(chain::RequestType::kPacketIn, {0xaa});
+  ASSERT_EQ(f.broadcasts.size(), 1u);
+  EXPECT_EQ(f.broadcasts[0].request_id, id);
+  EXPECT_EQ(f.broadcasts[0].switch_id, 3u);
+  EXPECT_EQ(f.broadcasts[0].type, chain::RequestType::kPacketIn);
+  EXPECT_EQ(f.agent.pending_requests(), 1u);
+}
+
+TEST(SAgent, RequestIdsAreUnique) {
+  AgentFixture f;
+  const auto a = f.agent.send_request(chain::RequestType::kPacketIn, {});
+  const auto b = f.agent.send_request(chain::RequestType::kReassign, {});
+  EXPECT_NE(a, b);
+}
+
+TEST(SAgent, AcceptsAfterFPlusOneMatchingReplies) {
+  AgentFixture f;
+  const auto id = f.agent.send_request(chain::RequestType::kPacketIn, {});
+  f.agent.on_reply(10, id, f.config_a);
+  EXPECT_TRUE(f.accepts.empty());  // one reply is not enough with f = 1
+  f.agent.on_reply(11, id, f.config_a);
+  ASSERT_EQ(f.accepts.size(), 1u);
+  EXPECT_EQ(f.accepts[0].second, f.config_a);
+  EXPECT_EQ(f.agent.accepted_count(), 1u);
+}
+
+TEST(SAgent, MismatchedRepliesDoNotCountTogether) {
+  AgentFixture f;
+  const auto id = f.agent.send_request(chain::RequestType::kPacketIn, {});
+  f.agent.on_reply(10, id, f.config_a);
+  f.agent.on_reply(11, id, f.config_b);
+  EXPECT_TRUE(f.accepts.empty());
+  f.agent.on_reply(12, id, f.config_a);  // second vote for A: accept
+  ASSERT_EQ(f.accepts.size(), 1u);
+  // Controller 11 conflicted with the accepted config.
+  ASSERT_EQ(f.reports.size(), 1u);
+  EXPECT_EQ(f.reports[0].first, 11u);
+  EXPECT_EQ(f.reports[0].second, ByzantineReason::kConflictingConfig);
+}
+
+TEST(SAgent, LateConflictingReplyIsReported) {
+  AgentFixture f;
+  const auto id = f.agent.send_request(chain::RequestType::kPacketIn, {});
+  f.agent.on_reply(10, id, f.config_a);
+  f.agent.on_reply(11, id, f.config_a);
+  ASSERT_EQ(f.accepts.size(), 1u);
+  f.agent.on_reply(12, id, f.config_b);  // late, conflicting
+  ASSERT_EQ(f.reports.size(), 1u);
+  EXPECT_EQ(f.reports[0].first, 12u);
+  f.agent.on_reply(13, id, f.config_a);  // late but consistent: fine
+  EXPECT_EQ(f.reports.size(), 1u);
+}
+
+TEST(SAgent, DuplicateRepliesIgnored) {
+  AgentFixture f;
+  const auto id = f.agent.send_request(chain::RequestType::kPacketIn, {});
+  f.agent.on_reply(10, id, f.config_a);
+  f.agent.on_reply(10, id, f.config_a);  // same controller twice
+  EXPECT_TRUE(f.accepts.empty());
+}
+
+TEST(SAgent, RepliesFromOutsideGroupIgnored) {
+  AgentFixture f;
+  const auto id = f.agent.send_request(chain::RequestType::kPacketIn, {});
+  f.agent.on_reply(99, id, f.config_a);
+  f.agent.on_reply(98, id, f.config_a);
+  EXPECT_TRUE(f.accepts.empty());
+}
+
+TEST(SAgent, UnknownRequestIdIgnored) {
+  AgentFixture f;
+  EXPECT_NO_THROW(f.agent.on_reply(10, 777, f.config_a));
+  EXPECT_TRUE(f.accepts.empty());
+}
+
+TEST(SAgent, SilentControllersReportedAtTimeout) {
+  AgentFixture f;
+  const auto id = f.agent.send_request(chain::RequestType::kPacketIn, {});
+  f.agent.on_reply(10, id, f.config_a);
+  f.agent.on_reply(11, id, f.config_a);
+  f.agent.on_reply(12, id, f.config_a);
+  f.sim.run_until(600_ms);  // past the 500 ms reply timeout
+  // Controller 13 never replied.
+  ASSERT_EQ(f.reports.size(), 1u);
+  EXPECT_EQ(f.reports[0].first, 13u);
+  EXPECT_EQ(f.reports[0].second, ByzantineReason::kTimeout);
+  EXPECT_EQ(f.agent.pending_requests(), 0u);
+}
+
+TEST(SAgent, NoTimeoutReportWhenAllReply) {
+  AgentFixture f;
+  const auto id = f.agent.send_request(chain::RequestType::kPacketIn, {});
+  for (const std::uint32_t c : {10u, 11u, 12u, 13u}) f.agent.on_reply(c, id, f.config_a);
+  f.sim.run_until(600_ms);
+  EXPECT_TRUE(f.reports.empty());
+}
+
+TEST(SAgent, LazyControllerFlaggedAfterMaxRounds) {
+  SAgent::Config cfg{.switch_id = 3, .f = 1};
+  cfg.lazy_threshold = 200_ms;
+  cfg.max_lazy_rounds = 3;
+  AgentFixture f{cfg};
+  for (int round = 0; round < 3; ++round) {
+    const auto id = f.agent.send_request(chain::RequestType::kPacketIn, {});
+    // Fast repliers.
+    f.agent.on_reply(10, id, f.config_a);
+    f.agent.on_reply(11, id, f.config_a);
+    f.agent.on_reply(12, id, f.config_a);
+    // Controller 13 replies after 300 ms, under the 500 ms timeout but lazy.
+    f.sim.schedule(300_ms, [&f, id] { f.agent.on_reply(13, id, f.config_a); });
+    f.sim.run_until(f.sim.now() + 1_s);
+  }
+  ASSERT_FALSE(f.reports.empty());
+  EXPECT_EQ(f.reports.back().first, 13u);
+  EXPECT_EQ(f.reports.back().second, ByzantineReason::kLazy);
+}
+
+TEST(SAgent, FastRoundResetsLazyStreak) {
+  SAgent::Config cfg{.switch_id = 3, .f = 1};
+  cfg.lazy_threshold = 200_ms;
+  cfg.max_lazy_rounds = 3;
+  AgentFixture f{cfg};
+  auto lazy_round = [&f](bool lazy) {
+    const auto id = f.agent.send_request(chain::RequestType::kPacketIn, {});
+    f.agent.on_reply(10, id, f.config_a);
+    f.agent.on_reply(11, id, f.config_a);
+    f.agent.on_reply(12, id, f.config_a);
+    if (lazy) {
+      f.sim.schedule(300_ms, [&f, id] { f.agent.on_reply(13, id, f.config_a); });
+    } else {
+      f.agent.on_reply(13, id, f.config_a);
+    }
+    f.sim.run_until(f.sim.now() + 1_s);
+  };
+  lazy_round(true);
+  lazy_round(true);
+  EXPECT_EQ(f.agent.lazy_rounds(13), 2u);
+  lazy_round(false);  // a prompt reply resets the streak
+  EXPECT_EQ(f.agent.lazy_rounds(13), 0u);
+  lazy_round(true);
+  EXPECT_TRUE(f.reports.empty());
+}
+
+TEST(SAgent, GroupUpdateClearsDepartedLazyHistory) {
+  SAgent::Config cfg{.switch_id = 3, .f = 1};
+  cfg.lazy_threshold = 200_ms;
+  AgentFixture f{cfg};
+  const auto id = f.agent.send_request(chain::RequestType::kPacketIn, {});
+  f.sim.schedule(300_ms, [&f, id] { f.agent.on_reply(13, id, f.config_a); });
+  f.sim.run_until(400_ms);
+  EXPECT_EQ(f.agent.lazy_rounds(13), 1u);
+  f.agent.set_controller_group({10, 11, 12, 14});  // 13 replaced
+  EXPECT_EQ(f.agent.lazy_rounds(13), 0u);
+}
+
+TEST(SAgent, TotalSilenceBlamesOnlyTheLeader) {
+  // No replies at all: the group never ran consensus -> blame the node
+  // responsible for driving it, not all four members.
+  AgentFixture f;
+  f.agent.set_controller_group({10, 11, 12, 13}, /*leader=*/11);
+  (void)f.agent.send_request(chain::RequestType::kPacketIn, {});
+  f.sim.run_until(600_ms);
+  ASSERT_EQ(f.reports.size(), 1u);
+  EXPECT_EQ(f.reports[0].first, 11u);
+  EXPECT_EQ(f.reports[0].second, ByzantineReason::kTimeout);
+}
+
+TEST(SAgent, TotalSilenceWithoutLeaderHintReportsNothing) {
+  AgentFixture f;
+  f.agent.set_controller_group({10, 11, 12, 13});  // no leader hint
+  (void)f.agent.send_request(chain::RequestType::kPacketIn, {});
+  f.sim.run_until(600_ms);
+  EXPECT_TRUE(f.reports.empty());
+}
+
+TEST(SAgent, SilentRoundsWindowDelaysReport) {
+  SAgent::Config cfg{.switch_id = 3, .f = 1};
+  cfg.max_silent_rounds = 3;
+  AgentFixture f{cfg};
+  for (int round = 0; round < 3; ++round) {
+    const auto id = f.agent.send_request(chain::RequestType::kPacketIn, {});
+    f.agent.on_reply(10, id, f.config_a);
+    f.agent.on_reply(11, id, f.config_a);
+    f.agent.on_reply(12, id, f.config_a);
+    f.sim.run_until(f.sim.now() + 1_s);
+    if (round < 2) {
+      EXPECT_TRUE(f.reports.empty()) << "round " << round;
+      EXPECT_EQ(f.agent.silent_rounds(13), static_cast<std::size_t>(round + 1));
+    }
+  }
+  ASSERT_EQ(f.reports.size(), 1u);
+  EXPECT_EQ(f.reports[0].first, 13u);
+}
+
+TEST(SAgent, ReplyResetsSilentStreak) {
+  SAgent::Config cfg{.switch_id = 3, .f = 1};
+  cfg.max_silent_rounds = 2;
+  AgentFixture f{cfg};
+  auto round = [&f](bool include_13) {
+    const auto id = f.agent.send_request(chain::RequestType::kPacketIn, {});
+    f.agent.on_reply(10, id, f.config_a);
+    f.agent.on_reply(11, id, f.config_a);
+    f.agent.on_reply(12, id, f.config_a);
+    if (include_13) f.agent.on_reply(13, id, f.config_a);
+    f.sim.run_until(f.sim.now() + 1_s);
+  };
+  round(false);
+  EXPECT_EQ(f.agent.silent_rounds(13), 1u);
+  round(true);  // 13 answers: streak resets
+  EXPECT_EQ(f.agent.silent_rounds(13), 0u);
+  round(false);
+  EXPECT_TRUE(f.reports.empty());
+}
+
+TEST(SAgent, ReassignRequestsFlowLikePacketIn) {
+  AgentFixture f;
+  const auto id = f.agent.send_request(chain::RequestType::kReassign, {13});
+  f.agent.on_reply(10, id, f.config_a);
+  f.agent.on_reply(12, id, f.config_a);
+  ASSERT_EQ(f.accepts.size(), 1u);
+  EXPECT_EQ(f.accepts[0].first.type, chain::RequestType::kReassign);
+}
+
+}  // namespace
+}  // namespace curb::sdn

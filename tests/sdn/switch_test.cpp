@@ -1,0 +1,136 @@
+#include "curb/sdn/switch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace curb::sdn {
+namespace {
+
+using namespace curb::sim::literals;
+
+struct SwitchFixture {
+  SwitchFixture()
+      : sw{Switch::Config{.switch_id = 1},
+           sim,
+           [this](const Packet& p, std::uint64_t buffer_id) {
+             packet_ins.push_back({p, buffer_id});
+           },
+           [this](const Packet& p, std::uint32_t port) { forwarded.push_back({p, port}); },
+           [this](const Packet& p) { delivered.push_back(p); }} {}
+
+  FlowEntry forward_rule(std::uint32_t dst, std::uint32_t port) {
+    FlowEntry e;
+    e.match.dst_host = dst;
+    e.action = {FlowAction::Kind::kForward, port};
+    e.priority = 10;
+    return e;
+  }
+
+  sim::Simulator sim;
+  std::vector<std::pair<Packet, std::uint64_t>> packet_ins;
+  std::vector<std::pair<Packet, std::uint32_t>> forwarded;
+  std::vector<Packet> delivered;
+  Switch sw;
+};
+
+TEST(Switch, TableMissBuffersAndPunts) {
+  SwitchFixture f;
+  f.sw.receive(Packet{1, 2, 100});
+  ASSERT_EQ(f.packet_ins.size(), 1u);
+  EXPECT_EQ(f.packet_ins[0].first.id, 100u);
+  EXPECT_EQ(f.sw.buffered_packets(), 1u);
+  EXPECT_EQ(f.sw.stats().table_misses, 1u);
+  EXPECT_TRUE(f.forwarded.empty());
+}
+
+TEST(Switch, InstalledRuleForwards) {
+  SwitchFixture f;
+  f.sw.install({f.forward_rule(2, 7)});
+  f.sw.receive(Packet{1, 2, 100});
+  ASSERT_EQ(f.forwarded.size(), 1u);
+  EXPECT_EQ(f.forwarded[0].second, 7u);
+  EXPECT_TRUE(f.packet_ins.empty());
+  EXPECT_EQ(f.sw.stats().forwarded, 1u);
+}
+
+TEST(Switch, DeliverRuleHandsToHost) {
+  SwitchFixture f;
+  FlowEntry e;
+  e.match.dst_host = 2;
+  e.action = {FlowAction::Kind::kDeliver, 0};
+  e.priority = 10;
+  f.sw.install({e});
+  f.sw.receive(Packet{1, 2, 100});
+  ASSERT_EQ(f.delivered.size(), 1u);
+  EXPECT_EQ(f.sw.stats().delivered, 1u);
+}
+
+TEST(Switch, DropRuleDrops) {
+  SwitchFixture f;
+  FlowEntry e;
+  e.match.dst_host = 2;
+  e.action = {FlowAction::Kind::kDrop, 0};
+  e.priority = 10;
+  f.sw.install({e});
+  f.sw.receive(Packet{1, 2, 100});
+  EXPECT_EQ(f.sw.stats().dropped, 1u);
+  EXPECT_TRUE(f.forwarded.empty());
+  EXPECT_TRUE(f.packet_ins.empty());
+}
+
+TEST(Switch, PacketOutReleasesBufferedPacketThroughNewRule) {
+  SwitchFixture f;
+  f.sw.receive(Packet{1, 2, 100});
+  ASSERT_EQ(f.packet_ins.size(), 1u);
+  const std::uint64_t buffer_id = f.packet_ins[0].second;
+  // Control plane answers with a FLOW_MOD then PACKET_OUT.
+  f.sw.install({f.forward_rule(2, 3)});
+  f.sw.packet_out(buffer_id);
+  ASSERT_EQ(f.forwarded.size(), 1u);
+  EXPECT_EQ(f.forwarded[0].first.id, 100u);
+  EXPECT_EQ(f.sw.buffered_packets(), 0u);
+}
+
+TEST(Switch, PacketOutWithoutRuleDropsInsteadOfLooping) {
+  SwitchFixture f;
+  f.sw.receive(Packet{1, 2, 100});
+  const std::uint64_t buffer_id = f.packet_ins[0].second;
+  f.sw.packet_out(buffer_id);  // still no rule
+  EXPECT_EQ(f.sw.stats().dropped, 1u);
+  EXPECT_EQ(f.packet_ins.size(), 1u);  // no second PACKET_IN
+}
+
+TEST(Switch, PacketOutUnknownBufferIsIgnored) {
+  SwitchFixture f;
+  EXPECT_NO_THROW(f.sw.packet_out(12345));
+}
+
+TEST(Switch, BufferedPacketsExpire) {
+  SwitchFixture f;
+  f.sw.receive(Packet{1, 2, 100});
+  const std::uint64_t buffer_id = f.packet_ins[0].second;
+  f.sim.run_until(3_s);  // beyond the 2 s default expiry
+  EXPECT_EQ(f.sw.buffered_packets(), 0u);
+  EXPECT_EQ(f.sw.stats().buffer_expired, 1u);
+  f.sw.install({f.forward_rule(2, 3)});
+  f.sw.packet_out(buffer_id);  // late PACKET_OUT: nothing to release
+  EXPECT_TRUE(f.forwarded.empty());
+}
+
+TEST(Switch, MultipleBufferedPacketsIndependent) {
+  SwitchFixture f;
+  f.sw.receive(Packet{1, 2, 100});
+  f.sw.receive(Packet{1, 3, 101});
+  ASSERT_EQ(f.packet_ins.size(), 2u);
+  EXPECT_NE(f.packet_ins[0].second, f.packet_ins[1].second);
+  f.sw.install({f.forward_rule(2, 4), f.forward_rule(3, 5)});
+  f.sw.packet_out(f.packet_ins[1].second);
+  f.sw.packet_out(f.packet_ins[0].second);
+  ASSERT_EQ(f.forwarded.size(), 2u);
+  EXPECT_EQ(f.forwarded[0].first.id, 101u);
+  EXPECT_EQ(f.forwarded[1].first.id, 100u);
+}
+
+}  // namespace
+}  // namespace curb::sdn
