@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_byzantine.dir/bench_fig4_byzantine.cpp.o"
+  "CMakeFiles/bench_fig4_byzantine.dir/bench_fig4_byzantine.cpp.o.d"
+  "bench_fig4_byzantine"
+  "bench_fig4_byzantine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_byzantine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

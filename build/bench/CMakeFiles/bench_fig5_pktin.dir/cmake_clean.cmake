@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_pktin.dir/bench_fig5_pktin.cpp.o"
+  "CMakeFiles/bench_fig5_pktin.dir/bench_fig5_pktin.cpp.o.d"
+  "bench_fig5_pktin"
+  "bench_fig5_pktin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_pktin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_op_controllers.dir/bench_fig7_op_controllers.cpp.o"
+  "CMakeFiles/bench_fig7_op_controllers.dir/bench_fig7_op_controllers.cpp.o.d"
+  "bench_fig7_op_controllers"
+  "bench_fig7_op_controllers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_op_controllers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_pdl.cpp" "bench/CMakeFiles/bench_fig8_pdl.dir/bench_fig8_pdl.cpp.o" "gcc" "bench/CMakeFiles/bench_fig8_pdl.dir/bench_fig8_pdl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/curb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/curb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/curb_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/bft/CMakeFiles/curb_bft.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdn/CMakeFiles/curb_sdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/curb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/curb_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/curb_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_pdl.dir/bench_fig8_pdl.cpp.o"
+  "CMakeFiles/bench_fig8_pdl.dir/bench_fig8_pdl.cpp.o.d"
+  "bench_fig8_pdl"
+  "bench_fig8_pdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_pdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

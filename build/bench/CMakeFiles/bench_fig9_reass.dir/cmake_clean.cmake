@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_reass.dir/bench_fig9_reass.cpp.o"
+  "CMakeFiles/bench_fig9_reass.dir/bench_fig9_reass.cpp.o.d"
+  "bench_fig9_reass"
+  "bench_fig9_reass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_reass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

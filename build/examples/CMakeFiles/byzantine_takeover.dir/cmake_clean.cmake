@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byzantine_takeover.dir/byzantine_takeover.cpp.o"
+  "CMakeFiles/byzantine_takeover.dir/byzantine_takeover.cpp.o.d"
+  "byzantine_takeover"
+  "byzantine_takeover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byzantine_takeover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

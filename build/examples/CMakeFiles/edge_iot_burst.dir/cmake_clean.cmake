@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_iot_burst.dir/edge_iot_burst.cpp.o"
+  "CMakeFiles/edge_iot_burst.dir/edge_iot_burst.cpp.o.d"
+  "edge_iot_burst"
+  "edge_iot_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_iot_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_topology.dir/export_topology.cpp.o"
+  "CMakeFiles/export_topology.dir/export_topology.cpp.o.d"
+  "export_topology"
+  "export_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

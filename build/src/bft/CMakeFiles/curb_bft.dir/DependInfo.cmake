@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bft/consensus.cpp" "src/bft/CMakeFiles/curb_bft.dir/consensus.cpp.o" "gcc" "src/bft/CMakeFiles/curb_bft.dir/consensus.cpp.o.d"
+  "/root/repo/src/bft/hotstuff.cpp" "src/bft/CMakeFiles/curb_bft.dir/hotstuff.cpp.o" "gcc" "src/bft/CMakeFiles/curb_bft.dir/hotstuff.cpp.o.d"
+  "/root/repo/src/bft/replica.cpp" "src/bft/CMakeFiles/curb_bft.dir/replica.cpp.o" "gcc" "src/bft/CMakeFiles/curb_bft.dir/replica.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/curb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/curb_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curb_bft.dir/consensus.cpp.o"
+  "CMakeFiles/curb_bft.dir/consensus.cpp.o.d"
+  "CMakeFiles/curb_bft.dir/hotstuff.cpp.o"
+  "CMakeFiles/curb_bft.dir/hotstuff.cpp.o.d"
+  "CMakeFiles/curb_bft.dir/replica.cpp.o"
+  "CMakeFiles/curb_bft.dir/replica.cpp.o.d"
+  "libcurb_bft.a"
+  "libcurb_bft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curb_bft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curb_chain.dir/block.cpp.o"
+  "CMakeFiles/curb_chain.dir/block.cpp.o.d"
+  "CMakeFiles/curb_chain.dir/blockchain.cpp.o"
+  "CMakeFiles/curb_chain.dir/blockchain.cpp.o.d"
+  "CMakeFiles/curb_chain.dir/transaction.cpp.o"
+  "CMakeFiles/curb_chain.dir/transaction.cpp.o.d"
+  "libcurb_chain.a"
+  "libcurb_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curb_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcurb_chain.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assignment_state.cpp" "src/core/CMakeFiles/curb_core.dir/assignment_state.cpp.o" "gcc" "src/core/CMakeFiles/curb_core.dir/assignment_state.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/curb_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/curb_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/codec.cpp" "src/core/CMakeFiles/curb_core.dir/codec.cpp.o" "gcc" "src/core/CMakeFiles/curb_core.dir/codec.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/curb_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/curb_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/messages.cpp" "src/core/CMakeFiles/curb_core.dir/messages.cpp.o" "gcc" "src/core/CMakeFiles/curb_core.dir/messages.cpp.o.d"
+  "/root/repo/src/core/network.cpp" "src/core/CMakeFiles/curb_core.dir/network.cpp.o" "gcc" "src/core/CMakeFiles/curb_core.dir/network.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/core/CMakeFiles/curb_core.dir/simulation.cpp.o" "gcc" "src/core/CMakeFiles/curb_core.dir/simulation.cpp.o.d"
+  "/root/repo/src/core/switch_node.cpp" "src/core/CMakeFiles/curb_core.dir/switch_node.cpp.o" "gcc" "src/core/CMakeFiles/curb_core.dir/switch_node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/curb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/curb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/curb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/curb_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/curb_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/bft/CMakeFiles/curb_bft.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdn/CMakeFiles/curb_sdn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

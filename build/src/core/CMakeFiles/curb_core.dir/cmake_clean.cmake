@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curb_core.dir/assignment_state.cpp.o"
+  "CMakeFiles/curb_core.dir/assignment_state.cpp.o.d"
+  "CMakeFiles/curb_core.dir/baselines.cpp.o"
+  "CMakeFiles/curb_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/curb_core.dir/codec.cpp.o"
+  "CMakeFiles/curb_core.dir/codec.cpp.o.d"
+  "CMakeFiles/curb_core.dir/controller.cpp.o"
+  "CMakeFiles/curb_core.dir/controller.cpp.o.d"
+  "CMakeFiles/curb_core.dir/messages.cpp.o"
+  "CMakeFiles/curb_core.dir/messages.cpp.o.d"
+  "CMakeFiles/curb_core.dir/network.cpp.o"
+  "CMakeFiles/curb_core.dir/network.cpp.o.d"
+  "CMakeFiles/curb_core.dir/simulation.cpp.o"
+  "CMakeFiles/curb_core.dir/simulation.cpp.o.d"
+  "CMakeFiles/curb_core.dir/switch_node.cpp.o"
+  "CMakeFiles/curb_core.dir/switch_node.cpp.o.d"
+  "libcurb_core.a"
+  "libcurb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curb_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/curb_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/curb_crypto.dir/secp256k1.cpp.o"
+  "CMakeFiles/curb_crypto.dir/secp256k1.cpp.o.d"
+  "CMakeFiles/curb_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/curb_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/curb_crypto.dir/u256.cpp.o"
+  "CMakeFiles/curb_crypto.dir/u256.cpp.o.d"
+  "libcurb_crypto.a"
+  "libcurb_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curb_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curb_net.dir/geo.cpp.o"
+  "CMakeFiles/curb_net.dir/geo.cpp.o.d"
+  "CMakeFiles/curb_net.dir/internet2.cpp.o"
+  "CMakeFiles/curb_net.dir/internet2.cpp.o.d"
+  "CMakeFiles/curb_net.dir/topology.cpp.o"
+  "CMakeFiles/curb_net.dir/topology.cpp.o.d"
+  "libcurb_net.a"
+  "libcurb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for curb_net.
+# This may be replaced when dependencies are built.

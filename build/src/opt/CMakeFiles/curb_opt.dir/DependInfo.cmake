@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/cap.cpp" "src/opt/CMakeFiles/curb_opt.dir/cap.cpp.o" "gcc" "src/opt/CMakeFiles/curb_opt.dir/cap.cpp.o.d"
+  "/root/repo/src/opt/lp.cpp" "src/opt/CMakeFiles/curb_opt.dir/lp.cpp.o" "gcc" "src/opt/CMakeFiles/curb_opt.dir/lp.cpp.o.d"
+  "/root/repo/src/opt/milp.cpp" "src/opt/CMakeFiles/curb_opt.dir/milp.cpp.o" "gcc" "src/opt/CMakeFiles/curb_opt.dir/milp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

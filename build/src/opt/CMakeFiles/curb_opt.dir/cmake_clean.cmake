@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curb_opt.dir/cap.cpp.o"
+  "CMakeFiles/curb_opt.dir/cap.cpp.o.d"
+  "CMakeFiles/curb_opt.dir/lp.cpp.o"
+  "CMakeFiles/curb_opt.dir/lp.cpp.o.d"
+  "CMakeFiles/curb_opt.dir/milp.cpp.o"
+  "CMakeFiles/curb_opt.dir/milp.cpp.o.d"
+  "libcurb_opt.a"
+  "libcurb_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curb_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdn/flow.cpp" "src/sdn/CMakeFiles/curb_sdn.dir/flow.cpp.o" "gcc" "src/sdn/CMakeFiles/curb_sdn.dir/flow.cpp.o.d"
+  "/root/repo/src/sdn/policy.cpp" "src/sdn/CMakeFiles/curb_sdn.dir/policy.cpp.o" "gcc" "src/sdn/CMakeFiles/curb_sdn.dir/policy.cpp.o.d"
+  "/root/repo/src/sdn/sagent.cpp" "src/sdn/CMakeFiles/curb_sdn.dir/sagent.cpp.o" "gcc" "src/sdn/CMakeFiles/curb_sdn.dir/sagent.cpp.o.d"
+  "/root/repo/src/sdn/switch.cpp" "src/sdn/CMakeFiles/curb_sdn.dir/switch.cpp.o" "gcc" "src/sdn/CMakeFiles/curb_sdn.dir/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/curb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/curb_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/curb_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

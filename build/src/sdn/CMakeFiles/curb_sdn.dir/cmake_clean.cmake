@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curb_sdn.dir/flow.cpp.o"
+  "CMakeFiles/curb_sdn.dir/flow.cpp.o.d"
+  "CMakeFiles/curb_sdn.dir/policy.cpp.o"
+  "CMakeFiles/curb_sdn.dir/policy.cpp.o.d"
+  "CMakeFiles/curb_sdn.dir/sagent.cpp.o"
+  "CMakeFiles/curb_sdn.dir/sagent.cpp.o.d"
+  "CMakeFiles/curb_sdn.dir/switch.cpp.o"
+  "CMakeFiles/curb_sdn.dir/switch.cpp.o.d"
+  "libcurb_sdn.a"
+  "libcurb_sdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curb_sdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

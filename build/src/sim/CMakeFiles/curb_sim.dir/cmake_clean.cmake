@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curb_sim.dir/log.cpp.o"
+  "CMakeFiles/curb_sim.dir/log.cpp.o.d"
+  "libcurb_sim.a"
+  "libcurb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

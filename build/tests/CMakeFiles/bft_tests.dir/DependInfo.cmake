@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bft/hotstuff_test.cpp" "tests/CMakeFiles/bft_tests.dir/bft/hotstuff_test.cpp.o" "gcc" "tests/CMakeFiles/bft_tests.dir/bft/hotstuff_test.cpp.o.d"
+  "/root/repo/tests/bft/replica_test.cpp" "tests/CMakeFiles/bft_tests.dir/bft/replica_test.cpp.o" "gcc" "tests/CMakeFiles/bft_tests.dir/bft/replica_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bft/CMakeFiles/curb_bft.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/curb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/curb_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bft_tests.dir/bft/hotstuff_test.cpp.o"
+  "CMakeFiles/bft_tests.dir/bft/hotstuff_test.cpp.o.d"
+  "CMakeFiles/bft_tests.dir/bft/replica_test.cpp.o"
+  "CMakeFiles/bft_tests.dir/bft/replica_test.cpp.o.d"
+  "bft_tests"
+  "bft_tests.pdb"
+  "bft_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bft_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/assignment_state_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/assignment_state_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/baselines_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/baselines_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/codec_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/codec_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/curb_integration_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/curb_integration_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sdn/flow_test.cpp" "tests/CMakeFiles/sdn_tests.dir/sdn/flow_test.cpp.o" "gcc" "tests/CMakeFiles/sdn_tests.dir/sdn/flow_test.cpp.o.d"
+  "/root/repo/tests/sdn/policy_test.cpp" "tests/CMakeFiles/sdn_tests.dir/sdn/policy_test.cpp.o" "gcc" "tests/CMakeFiles/sdn_tests.dir/sdn/policy_test.cpp.o.d"
+  "/root/repo/tests/sdn/sagent_test.cpp" "tests/CMakeFiles/sdn_tests.dir/sdn/sagent_test.cpp.o" "gcc" "tests/CMakeFiles/sdn_tests.dir/sdn/sagent_test.cpp.o.d"
+  "/root/repo/tests/sdn/switch_test.cpp" "tests/CMakeFiles/sdn_tests.dir/sdn/switch_test.cpp.o" "gcc" "tests/CMakeFiles/sdn_tests.dir/sdn/switch_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sdn/CMakeFiles/curb_sdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/curb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/curb_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/curb_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

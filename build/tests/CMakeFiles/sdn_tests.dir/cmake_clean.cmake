@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdn_tests.dir/sdn/flow_test.cpp.o"
+  "CMakeFiles/sdn_tests.dir/sdn/flow_test.cpp.o.d"
+  "CMakeFiles/sdn_tests.dir/sdn/policy_test.cpp.o"
+  "CMakeFiles/sdn_tests.dir/sdn/policy_test.cpp.o.d"
+  "CMakeFiles/sdn_tests.dir/sdn/sagent_test.cpp.o"
+  "CMakeFiles/sdn_tests.dir/sdn/sagent_test.cpp.o.d"
+  "CMakeFiles/sdn_tests.dir/sdn/switch_test.cpp.o"
+  "CMakeFiles/sdn_tests.dir/sdn/switch_test.cpp.o.d"
+  "sdn_tests"
+  "sdn_tests.pdb"
+  "sdn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curb-sim.dir/curb_sim_main.cpp.o"
+  "CMakeFiles/curb-sim.dir/curb_sim_main.cpp.o.d"
+  "curb-sim"
+  "curb-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curb-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
