@@ -63,6 +63,8 @@ int main() {
     serial.parallel = false;
     CurbSimulation sim_s{serial};
     const Sample s_tp = measure(sim_s, switches, 3);
+    // CURB_TRACE / CURB_METRICS_OUT capture the last configuration swept.
+    curb::bench::export_obs_from_env(sim_p.network());
 
     curb::bench::print_cell(static_cast<double>(switches));
     curb::bench::print_cell(p.latency_ms);
@@ -85,6 +87,7 @@ int main() {
     opts.max_cs_delay_ms = curb::opt::CapInstance::kNoLimit;
     CurbSimulation sim{opts};
     const Sample sample = measure(sim, 34, 3);
+    curb::bench::export_obs_from_env(sim.network());
     curb::bench::print_cell(static_cast<double>(f));
     curb::bench::print_cell(static_cast<double>(3 * f + 1));
     curb::bench::print_cell(sample.latency_ms);

@@ -72,6 +72,8 @@ int main() {
     CurbSimulation lcr{reass_options(CapObjective::kLeastMovement, 1)};
     const Sample t = measure(tcr, switches);
     const Sample l = measure(lcr, switches);
+    // CURB_TRACE / CURB_METRICS_OUT capture the last configuration swept.
+    curb::bench::export_obs_from_env(tcr.network());
     curb::bench::print_cell(static_cast<double>(switches));
     curb::bench::print_cell(t.latency_ms);
     curb::bench::print_cell(l.latency_ms);
@@ -85,6 +87,7 @@ int main() {
   for (const std::size_t f : {1u, 2u}) {
     CurbSimulation sim{reass_options(CapObjective::kTrivial, f)};
     const Sample s = measure(sim, 34);
+    curb::bench::export_obs_from_env(sim.network());
     curb::bench::print_cell(static_cast<double>(f));
     curb::bench::print_cell(static_cast<double>(3 * f + 1));
     curb::bench::print_cell(s.tps);

@@ -7,10 +7,13 @@
 // EXPERIMENTS.md).
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "curb/core/network.hpp"
 #include "curb/core/options.hpp"
+#include "curb/obs/export.hpp"
 #include "curb/sim/stats.hpp"
 
 namespace curb::bench {
@@ -37,6 +40,16 @@ inline void print_cell(double value) { std::printf("%-18.2f", value); }
 inline void print_cell(const std::string& value) { std::printf("%-18s", value.c_str()); }
 inline void end_row() { std::printf("\n"); }
 
+/// Environment-driven observability: set CURB_TRACE / CURB_TRACE_JSONL /
+/// CURB_METRICS_OUT / CURB_METRICS_CSV to file paths to capture a protocol
+/// trace or metrics snapshot from any bench binary without recompiling.
+inline bool obs_enabled_from_env() {
+  return std::getenv("CURB_TRACE") != nullptr ||
+         std::getenv("CURB_TRACE_JSONL") != nullptr ||
+         std::getenv("CURB_METRICS_OUT") != nullptr ||
+         std::getenv("CURB_METRICS_CSV") != nullptr;
+}
+
 /// Paper-calibrated options for the protocol benches: Internet2, f = 1,
 /// 500 ms timeout. The per-message overhead models the controller-side
 /// processing cost of the paper's Python/Ryu/gRPC stack (calibrated so the
@@ -57,7 +70,28 @@ inline core::CurbOptions paper_options() {
   // "application-specific waiting time" policy).
   opts.max_silent_rounds = 3;
   opts.op_time_mode = core::OpTimeMode::kMeasured;
+  opts.observability = obs_enabled_from_env();
   return opts;
+}
+
+/// Write whatever the CURB_* env vars request from this network's
+/// observatory. No-op when observability is off.
+inline void export_obs_from_env(core::CurbNetwork& network) {
+  obs::Observatory* obsy = network.observatory();
+  if (obsy == nullptr) return;
+  network.snapshot_runtime_metrics();
+  if (const char* path = std::getenv("CURB_TRACE")) {
+    obs::export_chrome_trace(obsy->tracer, path);
+  }
+  if (const char* path = std::getenv("CURB_TRACE_JSONL")) {
+    obs::export_spans_jsonl(obsy->tracer, path);
+  }
+  if (const char* path = std::getenv("CURB_METRICS_OUT")) {
+    obs::export_metrics_json(obsy->metrics, path);
+  }
+  if (const char* path = std::getenv("CURB_METRICS_CSV")) {
+    obs::export_metrics_csv(obsy->metrics, path);
+  }
 }
 
 }  // namespace curb::bench

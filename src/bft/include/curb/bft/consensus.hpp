@@ -3,10 +3,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "curb/bft/message.hpp"
+#include "curb/obs/observatory.hpp"
 #include "curb/sim/simulator.hpp"
 #include "curb/sim/time.hpp"
 
@@ -52,6 +54,15 @@ struct ReplicaConfig {
   /// frontier are garbage-collected (checkpoint-lite; keeps long-running
   /// replicas bounded). 0 disables collection.
   std::uint64_t gc_window = 64;
+  /// Observability (nullptr disables). `span_track` names the trace row the
+  /// replica's spans render on (one per controller); `span_prefix`
+  /// distinguishes Curb's two consensus layers ("intra_pbft" /
+  /// "final_pbft") in span names and metric labels; `span_attrs` rides on
+  /// every span (group id, controller id, ...).
+  obs::Observatory* obs = nullptr;
+  std::string span_track;
+  std::string span_prefix = "pbft";
+  obs::Attrs span_attrs;
 };
 
 /// Engine-agnostic replica interface. Transport-agnostic: messages leave

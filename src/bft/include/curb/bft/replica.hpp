@@ -70,6 +70,12 @@ class PbftReplica final : public ConsensusReplica {
     bool committed = false;
     bool executed = false;
     sim::EventHandle timeout;
+    // Observability: the slot span covers accept -> execute; the phase span
+    // is the currently-open sub-phase (prepare, then commit).
+    obs::SpanId span;
+    obs::SpanId phase_span;
+    sim::SimTime accepted_at;
+    sim::SimTime prepared_at;
   };
 
   void send_to(std::uint32_t dest, PbftMessage msg);
@@ -90,11 +96,49 @@ class PbftReplica final : public ConsensusReplica {
   [[nodiscard]] std::size_t quorum() const { return 2 * f() + 1; }
   [[nodiscard]] SlotState& slot(std::uint64_t sequence) { return slots_[sequence]; }
 
+  // Observability hooks. The inline wrappers keep the disabled path to one
+  // predictable pointer test on the consensus hot path; the _impl bodies
+  // live out of line in replica.cpp.
+  [[nodiscard]] bool tracing() const {
+    return config_.obs != nullptr && config_.obs->tracer.enabled();
+  }
+  void obs_slot_accepted(std::uint64_t sequence, SlotState& s) {
+    if (config_.obs != nullptr) obs_slot_accepted_impl(sequence, s);
+  }
+  void obs_slot_prepared(SlotState& s) {
+    if (config_.obs != nullptr) obs_slot_prepared_impl(s);
+  }
+  void obs_slot_committed(SlotState& s) {
+    if (config_.obs != nullptr) obs_slot_committed_impl(s);
+  }
+  void obs_slot_executed(std::uint64_t sequence, SlotState& s) {
+    if (config_.obs != nullptr) obs_slot_executed_impl(sequence, s);
+  }
+  void obs_slot_reset(SlotState& s) {
+    if (config_.obs != nullptr) obs_slot_reset_impl(s);
+  }
+  void obs_view_installed(std::uint64_t new_view) {
+    if (config_.obs != nullptr) obs_view_installed_impl(new_view);
+  }
+  void obs_slot_accepted_impl(std::uint64_t sequence, SlotState& s);
+  void obs_slot_prepared_impl(SlotState& s);
+  void obs_slot_committed_impl(SlotState& s);
+  void obs_slot_executed_impl(std::uint64_t sequence, SlotState& s);
+  void obs_slot_reset_impl(SlotState& s);
+  void obs_view_installed_impl(std::uint64_t new_view);
+
   Config config_;
   sim::Simulator& sim_;
   SendFn send_;
   DeliverFn deliver_;
   ViewChangeFn on_view_change_;
+
+  // Cached instrument handles, resolved once at construction.
+  obs::Counter* view_changes_metric_ = nullptr;
+  obs::Counter* timeouts_metric_ = nullptr;
+  obs::Histogram* prepare_us_ = nullptr;
+  obs::Histogram* commit_us_ = nullptr;
+  obs::Histogram* slot_us_ = nullptr;
 
   std::uint64_t view_;
   std::uint64_t next_seq_ = 1;   // leader's next proposal sequence

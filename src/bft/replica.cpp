@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace curb::bft {
 
@@ -16,6 +17,15 @@ PbftReplica::PbftReplica(Config config, sim::Simulator& sim, SendFn send, Delive
   }
   if (config_.replica_index >= config_.group_size) {
     throw std::invalid_argument{"PbftReplica: replica index out of range"};
+  }
+  if (config_.obs != nullptr) {
+    auto& registry = config_.obs->metrics;
+    const obs::Labels layer{{"layer", config_.span_prefix}};
+    view_changes_metric_ = &registry.counter("bft.view_changes", layer);
+    timeouts_metric_ = &registry.counter("bft.timeouts_fired", layer);
+    prepare_us_ = &registry.histogram("bft.prepare_us", layer);
+    commit_us_ = &registry.histogram("bft.commit_us", layer);
+    slot_us_ = &registry.histogram("bft.slot_us", layer);
   }
 }
 
@@ -57,6 +67,7 @@ std::uint64_t PbftReplica::propose(std::vector<std::uint8_t> payload) {
   s.digest = msg.digest;
   s.payload = msg.payload;
   s.prepares.insert(config_.replica_index);
+  obs_slot_accepted(seq, s);
   arm_timeout(seq);
   broadcast(msg);
   return seq;
@@ -117,7 +128,10 @@ void PbftReplica::handle_pre_prepare(const PbftMessage& msg) {
   s.payload = msg.payload;
   s.prepares.insert(config_.replica_index);
   s.prepares.insert(msg.sender);  // the pre-prepare is the leader's prepare vote
-  if (fresh) arm_timeout(msg.sequence);
+  if (fresh) {
+    obs_slot_accepted(msg.sequence, s);
+    arm_timeout(msg.sequence);
+  }
 
   PbftMessage prepare;
   prepare.type = PbftMessage::Type::kPrepare;
@@ -148,6 +162,7 @@ void PbftReplica::check_prepared(std::uint64_t sequence) {
   if (s.prepared || !s.digest || s.prepares.size() < quorum()) return;
   s.prepared = true;
   s.commits.insert(config_.replica_index);
+  obs_slot_prepared(s);
 
   PbftMessage commit;
   commit.type = PbftMessage::Type::kCommit;
@@ -171,6 +186,7 @@ void PbftReplica::check_committed(std::uint64_t sequence) {
   auto& s = slot(sequence);
   if (s.committed || !s.prepared || s.commits.size() < quorum()) return;
   s.committed = true;
+  obs_slot_committed(s);
   sim_.cancel(s.timeout);
   try_execute();
 }
@@ -180,6 +196,7 @@ void PbftReplica::try_execute() {
     const auto it = slots_.find(next_exec_);
     if (it == slots_.end() || !it->second.committed || it->second.executed) break;
     it->second.executed = true;
+    obs_slot_executed(next_exec_, it->second);
     deliver_(next_exec_, it->second.payload);
     ++next_exec_;
   }
@@ -202,6 +219,11 @@ void PbftReplica::arm_timeout(std::uint64_t sequence) {
   s.timeout = sim_.schedule(config_.view_change_timeout, [this, sequence] {
     const auto it = slots_.find(sequence);
     if (it == slots_.end() || it->second.committed) return;
+    if (timeouts_metric_ != nullptr) timeouts_metric_->inc();
+    if (tracing()) {
+      config_.obs->tracer.instant(config_.span_prefix + ".timeout", config_.span_track,
+                                  {{"seq", std::to_string(sequence)}});
+    }
     start_view_change();
   });
 }
@@ -281,6 +303,7 @@ void PbftReplica::adopt_new_view(std::uint64_t new_view,
                                  const std::vector<PbftMessage::PreparedEntry>& prepared) {
   view_ = new_view;
   view_change_in_progress_ = false;
+  obs_view_installed(new_view);
   // Reset per-slot voting state for unexecuted slots; re-run consensus on
   // the carried-over prepared entries in the new view.
   std::uint64_t max_seq = next_exec_ - 1;
@@ -288,6 +311,7 @@ void PbftReplica::adopt_new_view(std::uint64_t new_view,
     max_seq = std::max(max_seq, seq);
     if (s.executed) continue;
     sim_.cancel(s.timeout);
+    obs_slot_reset(s);
     s.prepares.clear();
     s.commits.clear();
     s.prepared = false;
@@ -314,9 +338,86 @@ void PbftReplica::adopt_new_view(std::uint64_t new_view,
       s.digest = msg.digest;
       s.payload = msg.payload;
       s.prepares.insert(config_.replica_index);
+      obs_slot_accepted(e.sequence, s);
       arm_timeout(e.sequence);
       broadcast(msg);
     }
+  }
+}
+
+// ---- observability hooks ----------------------------------------------
+//
+// Span model per slot, all on this replica's track:
+//   {prefix}           accept -> execute       (the whole slot)
+//     {prefix}.prepare accept -> prepared      (pre-prepare implied at start)
+//     {prefix}.commit  prepared -> committed
+// Phase durations also land in the bft.{prepare,commit,slot}_us histograms
+// so runs without tracing still get timing distributions.
+
+void PbftReplica::obs_slot_accepted_impl(std::uint64_t sequence, SlotState& s) {
+  s.accepted_at = sim_.now();
+  if (!tracing()) return;
+  auto& tracer = config_.obs->tracer;
+  obs::Attrs attrs = config_.span_attrs;
+  attrs.emplace_back("seq", std::to_string(sequence));
+  attrs.emplace_back("view", std::to_string(view_));
+  // Slots interleave on the replica track, so the slot span is a root and
+  // every phase hangs explicitly off its own slot.
+  s.span = tracer.begin_under({}, config_.span_prefix, config_.span_track, attrs);
+  tracer.end(
+      tracer.begin_under(s.span, config_.span_prefix + ".pre_prepare", config_.span_track));
+  s.phase_span =
+      tracer.begin_under(s.span, config_.span_prefix + ".prepare", config_.span_track);
+}
+
+void PbftReplica::obs_slot_prepared_impl(SlotState& s) {
+  s.prepared_at = sim_.now();
+  if (prepare_us_ != nullptr) {
+    prepare_us_->record(static_cast<double>((s.prepared_at - s.accepted_at).as_micros()));
+  }
+  if (!tracing()) return;
+  auto& tracer = config_.obs->tracer;
+  tracer.end(s.phase_span);
+  s.phase_span =
+      tracer.begin_under(s.span, config_.span_prefix + ".commit", config_.span_track);
+}
+
+void PbftReplica::obs_slot_committed_impl(SlotState& s) {
+  if (commit_us_ != nullptr) {
+    commit_us_->record(static_cast<double>((sim_.now() - s.prepared_at).as_micros()));
+  }
+  if (!tracing()) return;
+  config_.obs->tracer.end(s.phase_span);
+  s.phase_span = obs::SpanId{};
+}
+
+void PbftReplica::obs_slot_executed_impl(std::uint64_t /*sequence*/, SlotState& s) {
+  if (slot_us_ != nullptr) {
+    slot_us_->record(static_cast<double>((sim_.now() - s.accepted_at).as_micros()));
+  }
+  if (!tracing()) return;
+  config_.obs->tracer.end(s.span);
+  s.span = obs::SpanId{};
+}
+
+void PbftReplica::obs_slot_reset_impl(SlotState& s) {
+  if (!tracing()) {
+    s.span = obs::SpanId{};
+    s.phase_span = obs::SpanId{};
+    return;
+  }
+  auto& tracer = config_.obs->tracer;
+  tracer.end(s.phase_span);
+  tracer.end(s.span);
+  s.phase_span = obs::SpanId{};
+  s.span = obs::SpanId{};
+}
+
+void PbftReplica::obs_view_installed_impl(std::uint64_t new_view) {
+  if (view_changes_metric_ != nullptr) view_changes_metric_->inc();
+  if (tracing()) {
+    config_.obs->tracer.instant(config_.span_prefix + ".view_change", config_.span_track,
+                                {{"view", std::to_string(new_view)}});
   }
 }
 

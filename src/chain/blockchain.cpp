@@ -1,6 +1,7 @@
 #include "curb/chain/blockchain.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "curb/chain/serial.hpp"
 
@@ -18,17 +19,51 @@ Blockchain::Blockchain(Block genesis) {
 }
 
 std::optional<AppendError> Blockchain::append(const Block& block) {
-  if (block.header().height != height() + 1) return AppendError::kWrongHeight;
-  if (block.header().prev_hash != tip().hash()) return AppendError::kWrongPrevHash;
-  if (!block.well_formed()) return AppendError::kBadMerkleRoot;
+  const auto reject = [this](AppendError err) {
+    if (obs_ != nullptr) {
+      obs_->metrics
+          .counter("chain.rejected", {{"owner", owner_}, {"reason", to_string(err)}})
+          .inc();
+    }
+    return err;
+  };
+  if (block.header().height != height() + 1) return reject(AppendError::kWrongHeight);
+  if (block.header().prev_hash != tip().hash()) return reject(AppendError::kWrongPrevHash);
+  if (!block.well_formed()) return reject(AppendError::kBadMerkleRoot);
   for (const Transaction& tx : block.transactions()) {
-    if (tx_index_.contains(tx.id())) return AppendError::kDuplicateTransaction;
+    if (tx_index_.contains(tx.id())) return reject(AppendError::kDuplicateTransaction);
   }
   for (const Transaction& tx : block.transactions()) {
     tx_index_[tx.id()] = block.header().height;
   }
+  if (obs_ != nullptr) {
+    blocks_appended_->inc();
+    height_gauge_->set(static_cast<double>(block.header().height));
+    txs_per_block_->record(static_cast<double>(block.transactions().size()));
+    block_interval_us_->record(static_cast<double>(block.header().timestamp_us -
+                                                   tip().header().timestamp_us));
+  }
   blocks_.push_back(block);
   return std::nullopt;
+}
+
+void Blockchain::set_observatory(obs::Observatory* obs, std::string owner) {
+  obs_ = obs;
+  owner_ = std::move(owner);
+  if (obs_ == nullptr) {
+    blocks_appended_ = nullptr;
+    height_gauge_ = nullptr;
+    txs_per_block_ = nullptr;
+    block_interval_us_ = nullptr;
+    return;
+  }
+  auto& registry = obs_->metrics;
+  const obs::Labels labels{{"owner", owner_}};
+  blocks_appended_ = &registry.counter("chain.blocks_appended", labels);
+  height_gauge_ = &registry.gauge("chain.height", labels);
+  txs_per_block_ = &registry.histogram("chain.txs_per_block", labels);
+  block_interval_us_ = &registry.histogram("chain.block_interval_us", labels);
+  height_gauge_->set(static_cast<double>(height()));
 }
 
 const Block& Blockchain::at(std::uint64_t h) const {

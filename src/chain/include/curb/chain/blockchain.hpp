@@ -10,6 +10,7 @@
 
 #include "curb/chain/block.hpp"
 #include "curb/crypto/sha256.hpp"
+#include "curb/obs/observatory.hpp"
 
 namespace curb::chain {
 
@@ -43,6 +44,12 @@ class Blockchain {
   /// Validate and append. Returns the error on rejection, nullopt on success.
   std::optional<AppendError> append(const Block& block);
 
+  /// Attach observability (nullptr disables). `owner` labels this chain's
+  /// series (one chain per controller). Appends feed block count / chain
+  /// height / txs-per-block / inter-block-interval metrics; rejections are
+  /// counted by reason.
+  void set_observatory(obs::Observatory* obs, std::string owner);
+
   [[nodiscard]] std::uint64_t height() const { return blocks_.back().header().height; }
   [[nodiscard]] std::size_t size() const { return blocks_.size(); }
   [[nodiscard]] const Block& tip() const { return blocks_.back(); }
@@ -71,6 +78,14 @@ class Blockchain {
  private:
   std::vector<Block> blocks_;
   std::map<crypto::Hash256, std::uint64_t> tx_index_;
+
+  // Observability (instrument handles cached by set_observatory).
+  obs::Observatory* obs_ = nullptr;
+  std::string owner_;
+  obs::Counter* blocks_appended_ = nullptr;
+  obs::Gauge* height_gauge_ = nullptr;
+  obs::Histogram* txs_per_block_ = nullptr;
+  obs::Histogram* block_interval_us_ = nullptr;
 };
 
 }  // namespace curb::chain

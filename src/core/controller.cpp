@@ -17,6 +17,16 @@ void trace(sim::Simulator& sim, std::uint32_t id, const std::string& msg) {
   sim::Logger::instance().log(sim::LogLevel::kDebug, sim.now(),
                               "ctl-" + std::to_string(id), msg);
 }
+
+/// Keyed-span key for a cross-controller protocol stage: fold the first
+/// bytes of the content digest with the instance id. The same (instance,
+/// payload) yields the same key on every controller, which is what lets the
+/// tracer stitch one AGREE / block-commit span out of many reporters.
+std::uint64_t stage_key(std::uint32_t instance, const crypto::Hash256& digest) {
+  std::uint64_t k = 0;
+  for (std::size_t i = 0; i < 8; ++i) k = (k << 8) | digest[i];
+  return k ^ (static_cast<std::uint64_t>(instance) * 0x9e3779b97f4a7c15ULL);
+}
 }  // namespace
 
 Controller::Controller(std::uint32_t id, net::NodeId node, crypto::KeyPair key,
@@ -30,6 +40,7 @@ Controller::Controller(std::uint32_t id, net::NodeId node, crypto::KeyPair key,
 void Controller::initialize(const AssignmentState& state, const chain::Block& genesis) {
   state_ = state;
   blockchain_ = std::make_unique<chain::Blockchain>(genesis);
+  blockchain_->set_observatory(network_.observatory(), "ctrl-" + std::to_string(id_));
   rebuild_replicas();
 }
 
@@ -104,6 +115,13 @@ void Controller::rebuild_replicas() {
     const auto leader_it =
         std::find(members.begin(), members.end(), instance_leader.at(instance));
     cfg.initial_view = static_cast<std::uint64_t>(leader_it - members.begin());
+    cfg.obs = network_.observatory();
+    if (cfg.obs != nullptr) {
+      cfg.span_track = "ctrl-" + std::to_string(id_);
+      cfg.span_prefix = "intra_pbft";
+      cfg.span_attrs = {{"controller", std::to_string(id_)},
+                        {"instance", std::to_string(instance)}};
+    }
     auto replica = bft::make_replica(
         network_.options().consensus_engine, cfg, network_.simulator(),
         [this, instance, members](std::uint32_t dest, const bft::PbftMessage& msg) {
@@ -152,6 +170,13 @@ void Controller::rebuild_replicas() {
     cfg.group_size = committee.size();
     cfg.view_change_timeout = options.pbft_timeout;
     cfg.initial_view = *state_.final_replica_index(state_.final_leader());
+    cfg.obs = network_.observatory();
+    if (cfg.obs != nullptr) {
+      cfg.span_track = "ctrl-" + std::to_string(id_);
+      cfg.span_prefix = "final_pbft";
+      cfg.span_attrs = {{"controller", std::to_string(id_)},
+                        {"epoch", std::to_string(state_.epoch())}};
+    }
     final_replica_ = bft::make_replica(
         network_.options().consensus_engine, cfg, network_.simulator(),
         [this, committee](std::uint32_t dest, const bft::PbftMessage& msg) {
@@ -439,6 +464,9 @@ void Controller::flush_reass_window(std::uint32_t instance) {
        f](const opt::CapResult& result) {
         ++stats_.op_solves;
         stats_.op_solve_time_ms_total += result.stats.wall_time_ms;
+        if (obs::Observatory* obsy = network_.observatory(); obsy != nullptr) {
+          obsy->metrics.counter("core.reass_solves").inc();
+        }
         if (!result.feasible) return;  // cannot reassign: drop the request
         const AssignmentState next =
             AssignmentState::build(result.assignment, f, next_epoch, byzantine, &state_);
@@ -502,6 +530,12 @@ void Controller::on_pbft_envelope(net::NodeId /*from*/, const PbftEnvelope& enve
 
 void Controller::on_intra_committed(std::uint32_t instance,
                                     const std::vector<std::uint8_t>& payload) {
+  // AGREE stage span: opened by whichever group member commits first,
+  // closed when a committee member assembles the f+1 quorum.
+  if (obs::Observatory* obsy = network_.observatory(); obsy != nullptr) {
+    obsy->tracer.begin_keyed(stage_key(instance, bft::payload_digest(payload)), "agree",
+                             "protocol", {{"instance", std::to_string(instance)}});
+  }
   // Algorithm 3 line 12: broadcast AGREE to the final committee.
   AgreeMsg agree{instance, id_, payload};
   for (const std::uint32_t member : state_.final_committee()) {
@@ -540,6 +574,10 @@ void Controller::on_agree(const AgreeMsg& agree) {
   // f+1 matching AGREEs guarantee one honest group member vouches.
   if (votes.size() < state_.f() + 1 || agree_buffered_.contains(key)) return;
   agree_buffered_.insert(key);
+  if (obs::Observatory* obsy = network_.observatory(); obsy != nullptr) {
+    obsy->tracer.end_keyed(stage_key(agree.instance, digest));
+    obsy->metrics.counter("core.agree_quorums").inc();
+  }
   trace(network_.simulator(), id_,
         "AGREE quorum instance=" + std::to_string(agree.instance));
 
@@ -587,6 +625,14 @@ void Controller::flush_block_buffer() {
   const chain::Block block = chain::Block::create(
       blockchain_->height() + 1, blockchain_->tip().hash(), std::move(txs),
       static_cast<std::uint64_t>(network_.simulator().now().as_micros()), id_);
+  // block_commit stage span: proposal at the final leader -> first
+  // controller to apply the block (keyed by the block hash).
+  if (obs::Observatory* obsy = network_.observatory(); obsy != nullptr) {
+    obsy->tracer.begin_keyed(
+        stage_key(PbftEnvelope::kFinalInstance, block.hash()), "block_commit", "protocol",
+        {{"height", std::to_string(block.header().height)},
+         {"txs", std::to_string(block.transactions().size())}});
+  }
   ++stats_.blocks_proposed;
   trace(network_.simulator(), id_,
         "propose block h=" + std::to_string(block.header().height) +
@@ -633,6 +679,9 @@ void Controller::on_final_agree(const FinalAgreeMsg& msg) {
 
 void Controller::apply_block(const chain::Block& block) {
   if (blockchain_->append(block).has_value()) return;  // rejected (stale/duplicate)
+  if (obs::Observatory* obsy = network_.observatory(); obsy != nullptr) {
+    obsy->tracer.end_keyed(stage_key(PbftEnvelope::kFinalInstance, block.hash()));
+  }
   ++stats_.blocks_committed;
   trace(network_.simulator(), id_,
         "apply block h=" + std::to_string(block.header().height) +
@@ -758,6 +807,11 @@ void Controller::apply_reassignment(const chain::Transaction& tx, std::uint64_t 
   }
   const AssignmentState old_state = state_;
   state_ = next;
+  if (obs::Observatory* obsy = network_.observatory(); obsy != nullptr) {
+    obsy->metrics.counter("core.epoch_adoptions").inc();
+    obsy->tracer.instant("epoch_adopt", "ctrl-" + std::to_string(id_),
+                         {{"epoch", std::to_string(next.epoch())}});
+  }
   trace(network_.simulator(), id_,
         "adopt epoch " + std::to_string(next.epoch()) + " groups=" +
             std::to_string(next.groups().size()) + " finalLeader=" +

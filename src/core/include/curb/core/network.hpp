@@ -13,6 +13,7 @@
 #include "curb/core/switch_node.hpp"
 #include "curb/net/message_bus.hpp"
 #include "curb/net/topology.hpp"
+#include "curb/obs/observatory.hpp"
 #include "curb/opt/cap.hpp"
 #include "curb/sdn/flow.hpp"
 #include "curb/sim/simulator.hpp"
@@ -35,6 +36,13 @@ class CurbNetwork {
   [[nodiscard]] net::MessageBus<CurbMessage>& bus() { return *bus_; }
   [[nodiscard]] const net::Topology& topology() const { return topology_; }
   [[nodiscard]] const CurbOptions& options() const { return options_; }
+
+  /// Observability handle; nullptr unless options.observability is set.
+  [[nodiscard]] obs::Observatory* observatory() { return observatory_.get(); }
+  /// Copy the simulator's built-in counters (events executed, queue
+  /// high-water) into the registry. Call before exporting metrics — the sim
+  /// layer sits below obs and cannot push them itself.
+  void snapshot_runtime_metrics();
 
   [[nodiscard]] std::size_t num_controllers() const { return controllers_.size(); }
   [[nodiscard]] std::size_t num_switches() const { return switches_.size(); }
@@ -88,7 +96,7 @@ class CurbNetwork {
   AssignmentState genesis_state_;
   std::unique_ptr<chain::Block> genesis_block_;
   bool initialized_ = false;
-
+  std::unique_ptr<obs::Observatory> observatory_;
 };
 
 }  // namespace curb::core

@@ -95,6 +95,13 @@ struct CurbOptions {
   /// time in big sweeps; protocol behaviour is identical either way.
   bool verify_signatures = false;
 
+  /// Observability: when true the network owns an obs::Observatory — the
+  /// protocol records spans per round (pkt_in -> intra_pbft -> agree ->
+  /// final_pbft -> block_commit -> reply_quorum) and every layer feeds the
+  /// metrics registry. Off by default: the disabled path is a null-pointer
+  /// check on each hot path.
+  bool observability = false;
+
   /// RNG seed for the whole deployment.
   std::uint64_t seed = 42;
 };

@@ -4,12 +4,14 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "curb/core/assignment_state.hpp"
 #include "curb/core/messages.hpp"
 #include "curb/core/options.hpp"
 #include "curb/net/topology.hpp"
+#include "curb/obs/observatory.hpp"
 #include "curb/sdn/sagent.hpp"
 #include "curb/sdn/switch.hpp"
 #include "curb/sim/time.hpp"
@@ -88,6 +90,11 @@ class SwitchNode {
   sdn::SAgent agent_;
 
   std::map<std::uint64_t, std::uint64_t> request_to_buffer_;  // request id -> buffer id
+  // Open protocol spans per in-flight request: the round span (pkt_in /
+  // reass_request) and its reply_quorum child (first REPLY -> acceptance).
+  std::map<std::uint64_t, obs::SpanId> request_spans_;
+  std::map<std::uint64_t, obs::SpanId> reply_spans_;
+  std::string track_;  // this switch's trace row, "sw-<id>"
   std::vector<RequestRecord> records_;
   std::vector<sdn::Packet> delivered_;
   std::set<std::uint32_t> reported_;

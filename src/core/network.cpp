@@ -9,6 +9,11 @@ CurbNetwork::CurbNetwork(net::Topology topology, CurbOptions options)
     : topology_{std::move(topology)}, options_{options}, sim_{options.seed} {
   bus_ = std::make_unique<net::MessageBus<CurbMessage>>(sim_, topology_,
                                                         options_.link_model);
+  if (options_.observability) {
+    observatory_ = std::make_unique<obs::Observatory>();
+    observatory_->enable(sim_);
+    bus_->set_observatory(observatory_.get());
+  }
   controller_nodes_ = topology_.nodes_of_kind(net::NodeKind::kController);
   switch_nodes_ = topology_.nodes_of_kind(net::NodeKind::kSwitch);
   if (controller_nodes_.size() < 3 * options_.f + 1) {
@@ -87,9 +92,30 @@ void CurbNetwork::solve_op_async(const opt::CapInstance& instance,
                                  ? sim::SimTime::from_seconds_f(
                                        result.stats.wall_time_ms / 1000.0)
                                  : options_.op_fixed_time;
-  sim_.schedule(delay, [done = std::move(done), result = std::move(result)] {
+  obs::SpanId solve_span;
+  if (observatory_ != nullptr) {
+    observatory_->metrics.counter("core.op_solves").inc();
+    observatory_->metrics.histogram("core.op_solve_us")
+        .record(static_cast<double>(delay.as_micros()));
+    // The span covers the virtual compute window [now, now + delay]; solves
+    // from different controllers overlap, so each is a root on the op track.
+    solve_span = observatory_->tracer.begin_under({}, "op_solve", "op");
+  }
+  sim_.schedule(delay, [this, solve_span, done = std::move(done),
+                        result = std::move(result)] {
+    if (observatory_ != nullptr) observatory_->tracer.end(solve_span);
     done(result);
   });
+}
+
+void CurbNetwork::snapshot_runtime_metrics() {
+  if (observatory_ == nullptr) return;
+  auto& registry = observatory_->metrics;
+  registry.gauge("sim.events_executed")
+      .set(static_cast<double>(sim_.events_executed()));
+  registry.gauge("sim.queue_high_water")
+      .set(static_cast<double>(sim_.queue_high_water()));
+  registry.gauge("sim.now_us").set(static_cast<double>(sim_.now().as_micros()));
 }
 
 std::vector<sdn::FlowEntry> CurbNetwork::compute_flow_entries(

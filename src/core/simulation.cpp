@@ -79,6 +79,13 @@ RoundMetrics CurbSimulation::finish_round(sim::SimTime round_start,
   RoundMetrics metrics;
   sim::SimTime last_accept = round_start;
   double latency_sum = 0.0;
+  obs::Observatory* obsy = network_->observatory();
+  obs::Histogram* latency_hist = nullptr;
+  obs::Counter* timeout_counter = nullptr;
+  if (obsy != nullptr) {
+    latency_hist = &obsy->metrics.histogram("core.request_latency_us");
+    timeout_counter = &obsy->metrics.counter("core.request_timeouts");
+  }
   for (std::uint32_t sw = 0; sw < network_->num_switches(); ++sw) {
     for (const auto& record : network_->switch_node(sw).records()) {
       if (record.sent < round_start) continue;
@@ -89,8 +96,18 @@ RoundMetrics CurbSimulation::finish_round(sim::SimTime round_start,
         latency_sum += latency_ms;
         metrics.max_latency_ms = std::max(metrics.max_latency_ms, latency_ms);
         last_accept = std::max(last_accept, *record.accepted);
+        if (latency_hist != nullptr) {
+          latency_hist->record(
+              static_cast<double>((*record.accepted - record.sent).as_micros()));
+        }
+      } else if (timeout_counter != nullptr) {
+        timeout_counter->inc();
       }
     }
+  }
+  if (obsy != nullptr) {
+    obsy->metrics.counter("core.rounds").inc();
+    network_->snapshot_runtime_metrics();
   }
   if (metrics.accepted > 0) {
     metrics.mean_latency_ms = latency_sum / static_cast<double>(metrics.accepted);

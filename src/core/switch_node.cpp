@@ -1,6 +1,7 @@
 #include "curb/core/switch_node.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "curb/core/codec.hpp"
 #include "curb/core/network.hpp"
@@ -43,7 +44,9 @@ SwitchNode::SwitchNode(std::uint32_t switch_id, net::NodeId node, CurbNetwork& n
              },
              [this](const std::vector<std::uint32_t>& ids, sdn::ByzantineReason reason) {
                on_byzantine(ids, reason);
-             }} {}
+             }} {
+  track_ = "sw-" + std::to_string(switch_id);
+}
 
 void SwitchNode::initialize(const AssignmentState& state) {
   const GroupInfo& group = state.group(state.group_of_switch(switch_id_));
@@ -57,6 +60,15 @@ void SwitchNode::on_message(net::NodeId /*from*/, const CurbMessage& msg) {
         using T = std::decay_t<decltype(m)>;
         if constexpr (std::is_same_v<T, ReplyMsg>) {
           if (m.switch_id == switch_id_) {
+            // reply_quorum: first REPLY for an in-flight request opens the
+            // final stage of the round, closed when the s-agent accepts.
+            if (obs::Observatory* obsy = network_.observatory();
+                obsy != nullptr && request_spans_.contains(m.request_id) &&
+                !reply_spans_.contains(m.request_id)) {
+              reply_spans_[m.request_id] = obsy->tracer.begin_under(
+                  request_spans_[m.request_id], "reply_quorum", track_,
+                  {{"request", std::to_string(m.request_id)}});
+            }
             agent_.on_reply(m.controller_id, m.request_id, m.config);
           }
         } else if constexpr (std::is_same_v<T, GroupUpdateMsg>) {
@@ -83,6 +95,15 @@ void SwitchNode::on_packet_in(const sdn::Packet& packet, std::uint64_t buffer_id
   request_to_buffer_[request_id] = buffer_id;
   records_.push_back(RequestRecord{request_id, chain::RequestType::kPacketIn,
                                    network_.simulator().now(), std::nullopt});
+  if (obs::Observatory* obsy = network_.observatory(); obsy != nullptr) {
+    // Requests on one switch may overlap (ingress + egress PKT-INs), so each
+    // request span is a root on the switch track.
+    request_spans_[request_id] =
+        obsy->tracer.begin_under({}, "pkt_in", track_,
+                                 {{"request", std::to_string(request_id)},
+                                  {"src", std::to_string(packet.src_host)},
+                                  {"dst", std::to_string(packet.dst_host)}});
+  }
 }
 
 void SwitchNode::request_reassignment(const std::vector<std::uint32_t>& byzantine_ids,
@@ -97,6 +118,12 @@ void SwitchNode::request_reassignment(const std::vector<std::uint32_t>& byzantin
       agent_.send_request(chain::RequestType::kReassign, serialize_id_list(fresh));
   records_.push_back(RequestRecord{request_id, chain::RequestType::kReassign,
                                    network_.simulator().now(), std::nullopt});
+  if (obs::Observatory* obsy = network_.observatory(); obsy != nullptr) {
+    request_spans_[request_id] =
+        obsy->tracer.begin_under({}, "reass_request", track_,
+                                 {{"request", std::to_string(request_id)},
+                                  {"accused", std::to_string(fresh.size())}});
+  }
 }
 
 void SwitchNode::reset_flow_table() {
@@ -109,6 +136,19 @@ void SwitchNode::on_config_accepted(const sdn::RequestMsg& request,
     if (record.request_id == request.request_id && !record.accepted) {
       record.accepted = network_.simulator().now();
       break;
+    }
+  }
+  if (obs::Observatory* obsy = network_.observatory(); obsy != nullptr) {
+    // Close the round: reply_quorum first (innermost), then the round span.
+    const auto reply_it = reply_spans_.find(request.request_id);
+    if (reply_it != reply_spans_.end()) {
+      obsy->tracer.end(reply_it->second);
+      reply_spans_.erase(reply_it);
+    }
+    const auto span_it = request_spans_.find(request.request_id);
+    if (span_it != request_spans_.end()) {
+      obsy->tracer.end(span_it->second);
+      request_spans_.erase(span_it);
     }
   }
   if (request.type == chain::RequestType::kPacketIn) {
@@ -133,7 +173,17 @@ void SwitchNode::on_config_accepted(const sdn::RequestMsg& request,
 }
 
 void SwitchNode::on_byzantine(const std::vector<std::uint32_t>& ids,
-                              sdn::ByzantineReason /*reason*/) {
+                              sdn::ByzantineReason reason) {
+  if (obs::Observatory* obsy = network_.observatory(); obsy != nullptr) {
+    obsy->metrics
+        .counter("core.accusations", {{"reason", std::string{sdn::to_string(reason)}}})
+        .inc(ids.size());
+    for (const std::uint32_t id : ids) {
+      obsy->tracer.instant("accusation", track_,
+                           {{"controller", std::to_string(id)},
+                            {"reason", std::string{sdn::to_string(reason)}}});
+    }
+  }
   request_reassignment(ids);
 }
 

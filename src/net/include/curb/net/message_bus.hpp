@@ -11,6 +11,7 @@
 
 #include "curb/net/link_model.hpp"
 #include "curb/net/topology.hpp"
+#include "curb/obs/observatory.hpp"
 #include "curb/sim/simulator.hpp"
 #include "curb/sim/time.hpp"
 
@@ -35,7 +36,11 @@ class MessageStats {
     const auto it = by_category_.find(category);
     return it == by_category_.end() ? 0 : it->second.count;
   }
-  [[nodiscard]] const std::map<std::string, std::pair<std::uint64_t, std::uint64_t>>
+  [[nodiscard]] std::uint64_t bytes(const std::string& category) const {
+    const auto it = by_category_.find(category);
+    return it == by_category_.end() ? 0 : it->second.bytes;
+  }
+  [[nodiscard]] std::map<std::string, std::pair<std::uint64_t, std::uint64_t>>
   snapshot() const {
     std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> out;
     for (const auto& [k, v] : by_category_) out[k] = {v.count, v.bytes};
@@ -87,6 +92,15 @@ class MessageBus {
 
   void set_interceptor(Interceptor interceptor) { interceptor_ = std::move(interceptor); }
 
+  /// Attach observability (nullptr disables). Per-category delivery-delay
+  /// histograms, message/byte counters, and drop counters land in the
+  /// registry; instrument handles are cached so the hot path resolves each
+  /// category's series once.
+  void set_observatory(obs::Observatory* observatory) {
+    obs_ = observatory;
+    instruments_.clear();
+  }
+
   /// Send a payload; `category` feeds message accounting, `bytes` the
   /// transmission-delay term. Self-sends are delivered with only the
   /// overhead delay (no propagation).
@@ -96,13 +110,25 @@ class MessageBus {
     sim::SimTime delay = model_.per_message_overhead + model_.transmission_delay(bytes);
     if (from != to) {
       const double km = topo_.distance_km(from, to);
-      if (km == Topology::kUnreachable) return;  // partitioned: message lost
+      if (km == Topology::kUnreachable) {
+        if (obs_ != nullptr) instruments(category).dropped_partition->inc();
+        return;  // partitioned: message lost
+      }
       delay += model_.propagation_delay(km);
     }
     if (interceptor_) {
       const auto extra = interceptor_(from, to, payload);
-      if (!extra) return;  // dropped
+      if (!extra) {
+        if (obs_ != nullptr) instruments(category).dropped_interceptor->inc();
+        return;  // dropped
+      }
       delay += *extra;
+    }
+    if (obs_ != nullptr) {
+      const CategoryInstruments& series = instruments(category);
+      series.messages->inc();
+      series.bytes->inc(bytes);
+      series.delay_us->record(static_cast<double>(delay.as_micros()));
     }
     sim_.schedule(delay, [this, from, to, payload = std::move(payload)] {
       if (to.value >= handlers_.size()) return;  // no handler ever attached
@@ -126,12 +152,37 @@ class MessageBus {
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
  private:
+  struct CategoryInstruments {
+    obs::Counter* messages = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Counter* dropped_partition = nullptr;
+    obs::Counter* dropped_interceptor = nullptr;
+    obs::Histogram* delay_us = nullptr;
+  };
+
+  const CategoryInstruments& instruments(const std::string& category) {
+    const auto it = instruments_.find(category);
+    if (it != instruments_.end()) return it->second;
+    obs::MetricsRegistry& registry = obs_->metrics;
+    CategoryInstruments series;
+    series.messages = &registry.counter("net.messages", {{"category", category}});
+    series.bytes = &registry.counter("net.bytes", {{"category", category}});
+    series.dropped_partition = &registry.counter(
+        "net.dropped", {{"category", category}, {"reason", "partition"}});
+    series.dropped_interceptor = &registry.counter(
+        "net.dropped", {{"category", category}, {"reason", "interceptor"}});
+    series.delay_us = &registry.histogram("net.delay_us", {{"category", category}});
+    return instruments_.emplace(category, series).first->second;
+  }
+
   sim::Simulator& sim_;
   const Topology& topo_;
   LinkModel model_;
   std::vector<Handler> handlers_;
   Interceptor interceptor_;
   MessageStats stats_;
+  obs::Observatory* obs_ = nullptr;
+  std::map<std::string, CategoryInstruments> instruments_;
 };
 
 }  // namespace curb::net

@@ -1,0 +1,206 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace curb::obs {
+
+/// Metric labels as sorted-on-registration (name, value) pairs. Two label
+/// sets that differ only in pair order address the same time series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotone event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-value (or high-water) measurement.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  /// High-water helper: keep the maximum ever observed.
+  void set_max(double v) { value_ = std::max(value_, v); }
+  [[nodiscard]] double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Bucket layout of a log-scale histogram: bucket i covers
+/// (bound[i-1], bound[i]] with bound[i] = first_bound * growth^i, plus one
+/// overflow bucket. Defaults span 1 us .. ~4.3 s when recording microseconds.
+struct HistogramOptions {
+  double first_bound = 1.0;
+  double growth = 2.0;
+  std::size_t finite_buckets = 32;
+};
+
+/// Fixed-bucket log-scale histogram. Recording is a binary search over the
+/// precomputed bounds; quantiles interpolate within a bucket — there is no
+/// per-query sort and no retained sample vector.
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions opts = {}) {
+    if (opts.finite_buckets == 0 || opts.growth <= 1.0 || opts.first_bound <= 0.0) {
+      throw std::invalid_argument{"Histogram: bad bucket options"};
+    }
+    bounds_.reserve(opts.finite_buckets);
+    double bound = opts.first_bound;
+    for (std::size_t i = 0; i < opts.finite_buckets; ++i) {
+      bounds_.push_back(bound);
+      bound *= opts.growth;
+    }
+    counts_.assign(opts.finite_buckets + 1, 0);  // +1 = overflow bucket
+  }
+
+  void record(double v) {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Number of buckets including the overflow bucket.
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  /// Inclusive upper bound of bucket i (+inf for the overflow bucket).
+  [[nodiscard]] double upper_bound(std::size_t i) const {
+    return i < bounds_.size() ? bounds_[i] : std::numeric_limits<double>::infinity();
+  }
+  [[nodiscard]] std::uint64_t count_at(std::size_t i) const { return counts_.at(i); }
+
+  /// Quantile estimate (q in [0, 100]) by linear interpolation inside the
+  /// containing bucket, clamped to the observed min/max.
+  [[nodiscard]] double percentile(double q) const {
+    if (q < 0.0 || q > 100.0) throw std::invalid_argument{"percentile out of range"};
+    if (count_ == 0) return 0.0;
+    const double rank = q / 100.0 * static_cast<double>(count_);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] == 0) continue;
+      const auto before = static_cast<double>(seen);
+      seen += counts_[i];
+      if (static_cast<double>(seen) < rank) continue;
+      const double lo = i == 0 ? std::min(min_, upper_bound(0)) : upper_bound(i - 1);
+      const double hi = i + 1 == counts_.size() ? max_ : upper_bound(i);
+      const double frac = (rank - before) / static_cast<double>(counts_[i]);
+      return std::clamp(lo + frac * (hi - lo), min_, max_);
+    }
+    return max_;
+  }
+
+  void reset() {
+    std::fill(counts_.begin(), counts_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Named metrics addressable by (name, labels). Instruments have stable
+/// addresses for the lifetime of the registry, so hot paths resolve once and
+/// keep the pointer. Iteration order is deterministic (sorted by full key),
+/// which makes exporter output reproducible.
+class MetricsRegistry {
+ public:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Metric {
+    std::string name;
+    Labels labels;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Counter& counter(const std::string& name, Labels labels = {}) {
+    Metric& m = resolve(name, std::move(labels), Kind::kCounter, {});
+    return *m.counter;
+  }
+  Gauge& gauge(const std::string& name, Labels labels = {}) {
+    Metric& m = resolve(name, std::move(labels), Kind::kGauge, {});
+    return *m.gauge;
+  }
+  Histogram& histogram(const std::string& name, Labels labels = {},
+                       HistogramOptions opts = {}) {
+    Metric& m = resolve(name, std::move(labels), Kind::kHistogram, opts);
+    return *m.histogram;
+  }
+
+  /// Canonical series key, e.g. `net.delay_us{category="AGREE"}`.
+  [[nodiscard]] static std::string series_key(const std::string& name,
+                                              const Labels& labels) {
+    if (labels.empty()) return name;
+    std::string key = name + "{";
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (i > 0) key += ",";
+      key += labels[i].first + "=\"" + labels[i].second + "\"";
+    }
+    key += "}";
+    return key;
+  }
+
+  [[nodiscard]] const std::map<std::string, Metric>& metrics() const { return metrics_; }
+  [[nodiscard]] std::size_t size() const { return metrics_.size(); }
+
+  void reset() { metrics_.clear(); }
+
+ private:
+  Metric& resolve(const std::string& name, Labels labels, Kind kind,
+                  HistogramOptions opts) {
+    std::sort(labels.begin(), labels.end());
+    const std::string key = series_key(name, labels);
+    const auto it = metrics_.find(key);
+    if (it != metrics_.end()) {
+      if (it->second.kind != kind) {
+        throw std::logic_error{"MetricsRegistry: kind mismatch for " + key};
+      }
+      return it->second;
+    }
+    Metric m{name, std::move(labels), kind, nullptr, nullptr, nullptr};
+    switch (kind) {
+      case Kind::kCounter: m.counter = std::make_unique<Counter>(); break;
+      case Kind::kGauge: m.gauge = std::make_unique<Gauge>(); break;
+      case Kind::kHistogram: m.histogram = std::make_unique<Histogram>(opts); break;
+    }
+    return metrics_.emplace(key, std::move(m)).first->second;
+  }
+
+  std::map<std::string, Metric> metrics_;
+};
+
+}  // namespace curb::obs

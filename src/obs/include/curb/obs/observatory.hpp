@@ -1,0 +1,24 @@
+#pragma once
+
+#include "curb/obs/metrics.hpp"
+#include "curb/obs/trace.hpp"
+
+namespace curb::obs {
+
+/// The whole observability surface of a deployment: one metrics registry +
+/// one span tracer, owned by the top-level network object and handed to
+/// components as a nullable pointer. Components treat `nullptr` as
+/// "observability off" and skip all bookkeeping — the enabled check is a
+/// single pointer comparison and the disabled path allocates nothing.
+struct Observatory {
+  MetricsRegistry metrics;
+  Tracer tracer;
+
+  /// Bind the tracer to the deployment's virtual clock and start recording.
+  void enable(const sim::Simulator& clock) {
+    tracer.bind_clock(clock);
+    tracer.set_enabled(true);
+  }
+};
+
+}  // namespace curb::obs

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "curb/sim/simulator.hpp"
+#include "curb/sim/time.hpp"
+
+namespace curb::obs {
+
+/// Span attributes, exported verbatim into trace args.
+using Attrs = std::vector<std::pair<std::string, std::string>>;
+
+/// Opaque handle returned by Tracer::begin. The zero id is invalid, which is
+/// what a disabled tracer hands out: end(invalid) is a no-op, so call sites
+/// do not need their own enabled checks.
+struct SpanId {
+  std::uint64_t value = 0;
+  [[nodiscard]] bool valid() const { return value != 0; }
+};
+
+/// One recorded span. `track` names the timeline row the span renders on
+/// (a tid in Chrome trace terms): one per controller, switch, or consensus
+/// group. `parent` points at the innermost span open on the same track when
+/// this one began, forming the per-round span tree.
+struct SpanRecord {
+  std::uint64_t id = 0;      // 1-based, in begin order
+  std::uint64_t parent = 0;  // 0 = root
+  std::string name;
+  std::string track;
+  sim::SimTime start;
+  sim::SimTime end;
+  bool open = true;
+  Attrs attrs;
+};
+
+/// Protocol span recorder bound to the virtual clock. All state lives in
+/// plain vectors; ids are dense sequence numbers, so two runs that execute
+/// the same event sequence produce byte-identical exports.
+///
+/// The disabled path is near-zero cost: one branch, no allocation — begin()
+/// returns the invalid id and every other entry point returns immediately.
+class Tracer {
+ public:
+  /// Bind the virtual clock. Must be called before enabling.
+  void bind_clock(const sim::Simulator& sim) { sim_ = &sim; }
+
+  void set_enabled(bool on) { enabled_ = on && sim_ != nullptr; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Open a span. Nested under the innermost span still open on `track`.
+  SpanId begin(std::string_view name, std::string_view track, Attrs attrs = {});
+
+  /// Open a span with an explicit parent (invalid id = root), bypassing the
+  /// open-stack. Concurrent protocol slots interleave on a shared track, so
+  /// stack nesting would attach a phase to whichever slot opened last;
+  /// explicit parenting keeps each phase under its own slot. Spans opened
+  /// this way never become implicit parents of later begin() calls.
+  SpanId begin_under(SpanId parent, std::string_view name, std::string_view track,
+                     Attrs attrs = {});
+
+  /// Close a span; no-op for invalid ids or spans already closed.
+  void end(SpanId id);
+
+  /// Keyed spans stitch one logical protocol stage across components: the
+  /// first begin_keyed for a key opens the span, later ones are ignored
+  /// (e.g. every group member reaching intra-group commit reports the same
+  /// AGREE stage). Returns true when this call opened the span.
+  bool begin_keyed(std::uint64_t key, std::string_view name, std::string_view track,
+                   Attrs attrs = {});
+  /// Close the span opened for `key`, if any. Returns true when closed now.
+  bool end_keyed(std::uint64_t key);
+
+  /// Zero-duration marker (view change, accusation, ...).
+  void instant(std::string_view name, std::string_view track, Attrs attrs = {});
+
+  [[nodiscard]] const std::vector<SpanRecord>& spans() const { return spans_; }
+  [[nodiscard]] std::size_t open_count() const;
+  /// Tracks in first-use order (stable tid assignment for exporters).
+  [[nodiscard]] const std::vector<std::string>& tracks() const { return track_order_; }
+
+  void clear();
+
+ private:
+  std::uint64_t track_index(std::string_view track);
+
+  const sim::Simulator* sim_ = nullptr;
+  bool enabled_ = false;
+  std::vector<SpanRecord> spans_;
+  std::vector<std::string> track_order_;
+  std::map<std::string, std::uint64_t, std::less<>> track_ids_;
+  /// track index -> stack of open span ids (innermost last).
+  std::vector<std::vector<std::uint64_t>> open_stacks_;
+  std::map<std::uint64_t, std::uint64_t> keyed_open_;  // key -> span id
+};
+
+/// RAII helper for synchronous sections (exporter timing, solver calls).
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer& tracer, std::string_view name, std::string_view track,
+             Attrs attrs = {})
+      : tracer_{tracer}, id_{tracer.begin(name, track, std::move(attrs))} {}
+  ~ScopedSpan() { tracer_.end(id_); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer& tracer_;
+  SpanId id_;
+};
+
+/// The one handle a component needs: metrics registry + tracer. Components
+/// hold a nullable Observatory*; a null pointer is the disabled fast path.
+struct Observatory;
+
+}  // namespace curb::obs

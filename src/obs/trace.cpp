@@ -1,0 +1,98 @@
+#include "curb/obs/trace.hpp"
+
+#include <algorithm>
+
+namespace curb::obs {
+
+std::uint64_t Tracer::track_index(std::string_view track) {
+  const auto it = track_ids_.find(track);
+  if (it != track_ids_.end()) return it->second;
+  const std::uint64_t index = track_order_.size();
+  track_order_.emplace_back(track);
+  track_ids_.emplace(std::string{track}, index);
+  open_stacks_.emplace_back();
+  return index;
+}
+
+SpanId Tracer::begin(std::string_view name, std::string_view track, Attrs attrs) {
+  if (!enabled_) return {};
+  const std::uint64_t tidx = track_index(track);
+  SpanRecord record;
+  record.id = spans_.size() + 1;
+  record.parent = open_stacks_[tidx].empty() ? 0 : open_stacks_[tidx].back();
+  record.name = name;
+  record.track = track;
+  record.start = sim_->now();
+  record.end = record.start;
+  record.attrs = std::move(attrs);
+  open_stacks_[tidx].push_back(record.id);
+  spans_.push_back(std::move(record));
+  return SpanId{spans_.back().id};
+}
+
+SpanId Tracer::begin_under(SpanId parent, std::string_view name, std::string_view track,
+                           Attrs attrs) {
+  if (!enabled_) return {};
+  (void)track_index(track);  // register the track in first-use order
+  SpanRecord record;
+  record.id = spans_.size() + 1;
+  record.parent = parent.value;
+  record.name = name;
+  record.track = track;
+  record.start = sim_->now();
+  record.end = record.start;
+  record.attrs = std::move(attrs);
+  spans_.push_back(std::move(record));  // not pushed on the open-stack
+  return SpanId{spans_.back().id};
+}
+
+void Tracer::end(SpanId id) {
+  if (!enabled_ || !id.valid() || id.value > spans_.size()) return;
+  SpanRecord& record = spans_[id.value - 1];
+  if (!record.open) return;
+  record.open = false;
+  record.end = sim_->now();
+  auto& stack = open_stacks_[track_ids_.find(record.track)->second];
+  stack.erase(std::remove(stack.begin(), stack.end(), id.value), stack.end());
+}
+
+bool Tracer::begin_keyed(std::uint64_t key, std::string_view name,
+                         std::string_view track, Attrs attrs) {
+  if (!enabled_ || keyed_open_.contains(key)) return false;
+  // Keyed spans stitch one logical stage across components on a shared rail;
+  // stack nesting under whatever else is open there would be meaningless, so
+  // they are always roots.
+  const SpanId id = begin_under(SpanId{}, name, track, std::move(attrs));
+  keyed_open_.emplace(key, id.value);
+  return true;
+}
+
+bool Tracer::end_keyed(std::uint64_t key) {
+  if (!enabled_) return false;
+  const auto it = keyed_open_.find(key);
+  if (it == keyed_open_.end()) return false;
+  end(SpanId{it->second});
+  keyed_open_.erase(it);
+  return true;
+}
+
+void Tracer::instant(std::string_view name, std::string_view track, Attrs attrs) {
+  if (!enabled_) return;
+  end(begin(name, track, std::move(attrs)));
+}
+
+std::size_t Tracer::open_count() const {
+  std::size_t open = 0;
+  for (const auto& stack : open_stacks_) open += stack.size();
+  return open;
+}
+
+void Tracer::clear() {
+  spans_.clear();
+  track_order_.clear();
+  track_ids_.clear();
+  open_stacks_.clear();
+  keyed_open_.clear();
+}
+
+}  // namespace curb::obs

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "curb/sim/time.hpp"
 
@@ -35,6 +37,21 @@ class Logger {
   [[nodiscard]] LogLevel level() const { return level_; }
   void set_sink(Sink sink) { sink_ = std::move(sink); }
 
+  /// Install a sink and return the previous one (scoped-capture helpers
+  /// restore it on exit so the process-wide instance() stays test-friendly).
+  Sink exchange_sink(Sink sink) {
+    Sink previous = std::move(sink_);
+    sink_ = std::move(sink);
+    return previous;
+  }
+
+  /// Back to the default state: no sink, level kOff. Tests that mutate the
+  /// global instance() call this so later tests see a pristine logger.
+  void reset() {
+    level_ = LogLevel::kOff;
+    sink_ = nullptr;
+  }
+
   [[nodiscard]] bool enabled(LogLevel l) const {
     return sink_ && l >= level_ && level_ != LogLevel::kOff;
   }
@@ -54,7 +71,54 @@ class Logger {
   Sink sink_;
 };
 
+/// The line format stderr_sink prints, exposed so tests can pin it down:
+/// `[  12.345ms] LEVEL component: message`.
+[[nodiscard]] std::string format_log_line(LogLevel l, SimTime now,
+                                          std::string_view component,
+                                          std::string_view message);
+
 /// Convenience: format a stderr sink, e.g. Logger::instance().set_sink(stderr_sink()).
 [[nodiscard]] Logger::Sink stderr_sink();
+
+/// Scoped test helper: captures every line that passes the level gate into
+/// an in-memory buffer, restoring the previous sink and level when the scope
+/// ends.
+class CaptureSink {
+ public:
+  struct Line {
+    LogLevel level;
+    SimTime time;
+    std::string component;
+    std::string message;
+  };
+
+  explicit CaptureSink(Logger& logger = Logger::instance(),
+                       LogLevel level = LogLevel::kTrace)
+      : logger_{logger}, previous_level_{logger.level()} {
+    previous_sink_ = logger_.exchange_sink(
+        [this](LogLevel l, SimTime now, std::string_view component,
+               std::string_view message) {
+          lines_.push_back(Line{l, now, std::string{component}, std::string{message}});
+        });
+    logger_.set_level(level);
+  }
+
+  ~CaptureSink() {
+    logger_.set_sink(std::move(previous_sink_));
+    logger_.set_level(previous_level_);
+  }
+
+  CaptureSink(const CaptureSink&) = delete;
+  CaptureSink& operator=(const CaptureSink&) = delete;
+
+  [[nodiscard]] const std::vector<Line>& lines() const { return lines_; }
+  void clear() { lines_.clear(); }
+
+ private:
+  Logger& logger_;
+  Logger::Sink previous_sink_;
+  LogLevel previous_level_;
+  std::vector<Line> lines_;
+};
 
 }  // namespace curb::sim

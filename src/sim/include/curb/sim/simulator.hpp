@@ -53,6 +53,7 @@ class Simulator {
     const std::uint64_t id = ++next_id_;
     queue_.push(Event{when, id, std::move(fn)});
     ++pending_;
+    if (queue_.size() > queue_high_water_) queue_high_water_ = queue_.size();
     return EventHandle{id};
   }
 
@@ -84,6 +85,7 @@ class Simulator {
       now_ = ev.when;
       ev.fn();
       ++executed;
+      ++executed_total_;
       if (executed >= max_events_) {
         throw std::runtime_error{"Simulator: event budget exhausted (possible livelock)"};
       }
@@ -101,6 +103,7 @@ class Simulator {
       if (is_cancelled(ev.id)) continue;
       now_ = ev.when;
       ev.fn();
+      ++executed_total_;
       return true;
     }
     return false;
@@ -108,6 +111,10 @@ class Simulator {
 
   [[nodiscard]] std::size_t pending_events() const { return pending_; }
   [[nodiscard]] bool idle() const { return queue_.empty(); }
+  /// Events executed over the simulator's lifetime (observability export).
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_total_; }
+  /// Largest event-queue depth ever reached (includes cancelled entries).
+  [[nodiscard]] std::size_t queue_high_water() const { return queue_high_water_; }
 
   /// Guard against runaway protocols in tests; default is generous.
   void set_event_budget(std::size_t max_events) { max_events_ = max_events; }
@@ -132,6 +139,8 @@ class Simulator {
   SimTime now_ = SimTime::zero();
   std::uint64_t next_id_ = 0;
   std::size_t pending_ = 0;
+  std::uint64_t executed_total_ = 0;
+  std::size_t queue_high_water_ = 0;
   std::size_t max_events_ = 500'000'000;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::vector<bool> cancelled_;

@@ -15,6 +15,9 @@ class Summary {
  public:
   void add(double x) {
     samples_.push_back(x);
+    sorted_dirty_ = true;
+    if (n_ == 0 || x < min_) min_ = x;
+    if (n_ == 0 || x > max_) max_ = x;
     ++n_;
     const double delta = x - mean_;
     mean_ += delta / static_cast<double>(n_);
@@ -27,33 +30,38 @@ class Summary {
     return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
   }
   [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
-  [[nodiscard]] double min() const {
-    return samples_.empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
-  }
-  [[nodiscard]] double max() const {
-    return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
-  }
+  [[nodiscard]] double min() const { return n_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return n_ == 0 ? 0.0 : max_; }
 
-  /// Linear-interpolated percentile, q in [0, 100].
+  /// Linear-interpolated percentile, q in [0, 100]. The sorted view is
+  /// cached and invalidated by add(), so repeated quantile queries between
+  /// insertions sort at most once.
   [[nodiscard]] double percentile(double q) const {
     if (samples_.empty()) return 0.0;
     if (q < 0.0 || q > 100.0) throw std::invalid_argument{"percentile out of range"};
-    std::vector<double> s = samples_;
-    std::sort(s.begin(), s.end());
-    const double pos = q / 100.0 * static_cast<double>(s.size() - 1);
+    if (sorted_dirty_) {
+      sorted_ = samples_;
+      std::sort(sorted_.begin(), sorted_.end());
+      sorted_dirty_ = false;
+    }
+    const double pos = q / 100.0 * static_cast<double>(sorted_.size() - 1);
     const auto lo = static_cast<std::size_t>(pos);
-    const std::size_t hi = std::min(lo + 1, s.size() - 1);
+    const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
     const double frac = pos - static_cast<double>(lo);
-    return s[lo] + frac * (s[hi] - s[lo]);
+    return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
   }
 
   [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
 
  private:
   std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_dirty_ = false;
   std::size_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
 };
 
 }  // namespace curb::sim

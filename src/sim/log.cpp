@@ -5,11 +5,22 @@
 
 namespace curb::sim {
 
+std::string format_log_line(LogLevel l, SimTime now, std::string_view component,
+                            std::string_view message) {
+  char prefix[48];
+  std::snprintf(prefix, sizeof prefix, "[%8.3fms] %-5s ", now.as_millis_f(),
+                std::string(to_string(l)).c_str());
+  std::string line{prefix};
+  line.append(component);
+  line.append(": ");
+  line.append(message);
+  return line;
+}
+
 Logger::Sink stderr_sink() {
   return [](LogLevel l, SimTime now, std::string_view component, std::string_view msg) {
-    std::fprintf(stderr, "[%8.3fms] %-5s %.*s: %.*s\n", now.as_millis_f(),
-                 std::string(to_string(l)).c_str(), static_cast<int>(component.size()),
-                 component.data(), static_cast<int>(msg.size()), msg.data());
+    const std::string line = format_log_line(l, now, component, msg);
+    std::fprintf(stderr, "%s\n", line.c_str());
   };
 }
 

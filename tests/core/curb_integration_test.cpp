@@ -1,9 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
 
 #include "curb/core/simulation.hpp"
 #include "curb/net/topology.hpp"
+#include "curb/obs/export.hpp"
+#include "curb/obs/observatory.hpp"
 
 namespace curb::core {
 namespace {
@@ -426,6 +432,134 @@ TEST(CurbNorthbound, PolicyRemoveRestoresTraffic) {
   sim.network().switch_node(0).host_send(3);
   sim.network().simulator().run_until(sim.network().simulator().now() + 3_s);
   EXPECT_EQ(sim.network().switch_node(3).delivered_packets().size(), 1u);
+}
+
+TEST(CurbObservability, DisabledByDefault) {
+  CurbSimulation sim{test_options()};
+  EXPECT_EQ(sim.network().observatory(), nullptr);
+  // Instrumented paths must still work with the observatory off.
+  const RoundMetrics m = sim.run_packet_in_round();
+  EXPECT_EQ(m.accepted, m.issued);
+}
+
+TEST(CurbObservability, PacketInRoundProducesProtocolSpanTree) {
+  CurbOptions opts = test_options();
+  opts.observability = true;
+  CurbSimulation sim{opts};
+  ASSERT_NE(sim.network().observatory(), nullptr);
+  (void)sim.run_packet_in_round();
+
+  const obs::Tracer& tracer = sim.network().observatory()->tracer;
+  std::map<std::string, std::size_t> by_name;
+  std::map<std::uint64_t, const obs::SpanRecord*> by_id;
+  for (const obs::SpanRecord& s : tracer.spans()) {
+    ++by_name[s.name];
+    by_id[s.id] = &s;
+  }
+  // Every protocol stage of the Curb pipeline shows up at least once.
+  for (const char* stage :
+       {"pkt_in", "intra_pbft", "intra_pbft.pre_prepare", "intra_pbft.prepare",
+        "intra_pbft.commit", "agree", "final_pbft", "final_pbft.prepare",
+        "final_pbft.commit", "block_commit", "reply_quorum"}) {
+    EXPECT_GT(by_name[stage], 0u) << "missing protocol stage span: " << stage;
+  }
+  // Phase spans nest under their slot span on the same replica track.
+  for (const obs::SpanRecord& s : tracer.spans()) {
+    if (s.name != "intra_pbft.prepare" && s.name != "intra_pbft.commit") continue;
+    ASSERT_NE(s.parent, 0u) << s.name << " must not be a root span";
+    const obs::SpanRecord& parent = *by_id.at(s.parent);
+    EXPECT_EQ(parent.name, "intra_pbft");
+    EXPECT_EQ(parent.track, s.track);
+    EXPECT_GE(s.start, parent.start);
+  }
+  // reply_quorum hangs directly off the switch's pkt_in request span.
+  for (const obs::SpanRecord& s : tracer.spans()) {
+    if (s.name != "reply_quorum") continue;
+    ASSERT_NE(s.parent, 0u);
+    EXPECT_EQ(by_id.at(s.parent)->name, "pkt_in");
+    EXPECT_EQ(by_id.at(s.parent)->track, s.track);
+  }
+  // Cross-controller keyed stages closed exactly once (nothing left open).
+  for (const obs::SpanRecord& s : tracer.spans()) {
+    if (s.name == "agree" || s.name == "block_commit") {
+      EXPECT_FALSE(s.open) << s.name << " span never closed";
+    }
+  }
+  // Tracks exist for switches, controllers, and the shared protocol rail.
+  std::set<std::string> tracks{tracer.tracks().begin(), tracer.tracks().end()};
+  EXPECT_TRUE(tracks.contains("protocol"));
+  EXPECT_TRUE(tracks.contains("sw-0"));
+  EXPECT_TRUE(tracks.contains("ctrl-0"));
+}
+
+TEST(CurbObservability, MetricsCoverHotPaths) {
+  CurbOptions opts = test_options();
+  opts.observability = true;
+  CurbSimulation sim{opts};
+  const RoundMetrics m = sim.run_packet_in_round();
+  sim.network().snapshot_runtime_metrics();
+
+  obs::MetricsRegistry& reg = sim.network().observatory()->metrics;
+  EXPECT_EQ(reg.counter("core.rounds").value(), 1u);
+  EXPECT_EQ(reg.histogram("core.request_latency_us").count(), m.accepted);
+  EXPECT_GT(reg.counter("net.messages", {{"category", "REPLY"}}).value(), 0u);
+  EXPECT_GT(reg.counter("net.bytes", {{"category", "REPLY"}}).value(), 0u);
+  EXPECT_GT(reg.histogram("net.delay_us", {{"category", "REPLY"}}).count(), 0u);
+  EXPECT_GT(reg.gauge("sim.events_executed").value(), 0.0);
+  EXPECT_GT(reg.gauge("sim.queue_high_water").value(), 0.0);
+  // Per-controller chain metrics follow the shared chain height.
+  EXPECT_EQ(reg.gauge("chain.height", {{"owner", "ctrl-0"}}).value(),
+            static_cast<double>(sim.chain_height()));
+}
+
+TEST(CurbObservability, TraceByteIdenticalAcrossIdenticalRuns) {
+  auto run_once = [] {
+    CurbOptions opts = test_options();
+    opts.observability = true;
+    auto sim = small_sim(opts);
+    (void)sim.run_packet_in_round();
+    (void)sim.run_packet_in_round();
+    sim.network().snapshot_runtime_metrics();
+    std::stringstream trace;
+    std::stringstream jsonl;
+    std::stringstream metrics;
+    obs::write_chrome_trace(sim.network().observatory()->tracer, trace);
+    obs::write_spans_jsonl(sim.network().observatory()->tracer, jsonl);
+    obs::write_metrics_json(sim.network().observatory()->metrics, metrics);
+    return trace.str() + "\x1e" + jsonl.str() + "\x1e" + metrics.str();
+  };
+  const std::string first = run_once();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, run_once());
+}
+
+TEST(CurbObservability, ViewChangeLeavesNoOpenSlotSpans) {
+  CurbOptions opts = test_options();
+  opts.observability = true;
+  opts.controller_capacity = 8.0;
+  opts.max_cs_delay_ms = opt::CapInstance::kNoLimit;
+  CurbSimulation sim{net::random_geo_topology(8, 10, 99), opts};
+  const auto& state = sim.network().genesis_state();
+  const std::uint32_t victim = state.group(state.group_of_switch(0)).leader;
+  sim.network().controller(victim).set_behavior(bft::Behavior::kSilent);
+  for (int round = 0; round < 4; ++round) (void)sim.run_packet_in_round();
+
+  const obs::Tracer& tracer = sim.network().observatory()->tracer;
+  bool saw_view_change = false;
+  for (const obs::SpanRecord& s : tracer.spans()) {
+    saw_view_change |= s.name == "intra_pbft.view_change";
+    // Slot/phase spans on the silenced group must have been reset, not
+    // leaked open, when the view changed.
+    if (s.name == "intra_pbft.prepare" || s.name == "intra_pbft.commit") {
+      EXPECT_FALSE(s.open) << "phase span leaked open across view change";
+    }
+  }
+  EXPECT_TRUE(saw_view_change);
+  EXPECT_GT(sim.network()
+                .observatory()
+                ->metrics.counter("bft.view_changes", {{"layer", "intra_pbft"}})
+                .value(),
+            0u);
 }
 
 TEST(CurbSimulationApi, ActiveSwitchSubsetting) {

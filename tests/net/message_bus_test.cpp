@@ -7,6 +7,7 @@
 
 #include "curb/net/link_model.hpp"
 #include "curb/net/topology.hpp"
+#include "curb/obs/observatory.hpp"
 #include "curb/sim/simulator.hpp"
 
 namespace curb::net {
@@ -145,6 +146,60 @@ TEST(MessageBus, CountsMessagesByCategory) {
   EXPECT_EQ(f.bus.stats().messages("unknown"), 0u);
   f.bus.stats().reset();
   EXPECT_EQ(f.bus.stats().total_messages(), 0u);
+}
+
+TEST(MessageBus, TracksBytesPerCategory) {
+  Fixture f;
+  f.make_line();
+  f.bus.attach(NodeId{1}, [](NodeId, const std::string&) {});
+  f.bus.send(NodeId{0}, NodeId{1}, "a", 100, "PKT-IN");
+  f.bus.send(NodeId{0}, NodeId{1}, "b", 50, "PKT-IN");
+  f.bus.send(NodeId{0}, NodeId{1}, "c", 10, "AGREE");
+  EXPECT_EQ(f.bus.stats().bytes("PKT-IN"), 150u);
+  EXPECT_EQ(f.bus.stats().bytes("AGREE"), 10u);
+  EXPECT_EQ(f.bus.stats().bytes("unknown"), 0u);
+  const auto snap = f.bus.stats().snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap.at("PKT-IN").first, 2u);
+  EXPECT_EQ(snap.at("PKT-IN").second, 150u);
+}
+
+TEST(MessageBus, ObservatoryCountsTrafficAndDrops) {
+  Fixture f;
+  f.make_line();
+  // A third, unreachable node to exercise the partition-drop path.
+  const NodeId c = f.topo.add_node("c", NodeKind::kController, {9999, 9999});
+  obs::Observatory obsy;
+  obsy.enable(f.sim);
+  f.bus.set_observatory(&obsy);
+  f.bus.attach(NodeId{1}, [](NodeId, const std::string&) {});
+  f.bus.set_interceptor([](NodeId, NodeId, const std::string& msg)
+                            -> std::optional<sim::SimTime> {
+    if (msg == "drop-me") return std::nullopt;
+    return sim::SimTime::zero();
+  });
+
+  f.bus.send(NodeId{0}, NodeId{1}, "hello", 12'500, "PKT-IN");
+  f.bus.send(NodeId{0}, NodeId{1}, "drop-me", 8, "PKT-IN");
+  f.bus.send(NodeId{0}, c, "unroutable", 8, "PKT-IN");
+  f.sim.run();
+
+  auto& reg = obsy.metrics;
+  const obs::Labels cat{{"category", "PKT-IN"}};
+  EXPECT_EQ(reg.counter("net.messages", cat).value(), 1u);  // delivered only
+  EXPECT_EQ(reg.counter("net.bytes", cat).value(), 12'500u);
+  EXPECT_EQ(reg.counter("net.dropped",
+                        {{"category", "PKT-IN"}, {"reason", "interceptor"}})
+                .value(),
+            1u);
+  EXPECT_EQ(reg.counter("net.dropped",
+                        {{"category", "PKT-IN"}, {"reason", "partition"}})
+                .value(),
+            1u);
+  // 200 km propagation (1 ms) + 12500 bytes transmission (1 ms) = 2 ms.
+  obs::Histogram& delay = reg.histogram("net.delay_us", cat);
+  EXPECT_EQ(delay.count(), 1u);
+  EXPECT_DOUBLE_EQ(delay.min(), 2000.0);
 }
 
 TEST(MessageBus, UnattachedRecipientIsIgnored) {

@@ -1,0 +1,148 @@
+#include "curb/sim/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "curb/sim/time.hpp"
+
+namespace curb::sim {
+namespace {
+
+using namespace curb::sim::literals;
+
+TEST(LogLevel, ToString) {
+  EXPECT_EQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_EQ(to_string(LogLevel::kOff), "OFF");
+}
+
+TEST(FormatLogLine, PinsStderrSinkFormat) {
+  // `[%8.3fms] %-5s component: message` — the one format stderr_sink prints.
+  EXPECT_EQ(format_log_line(LogLevel::kInfo, 12_ms + 345_us, "bft", "prepared"),
+            "[  12.345ms] INFO  bft: prepared");
+  EXPECT_EQ(format_log_line(LogLevel::kError, SimTime::zero(), "net", "drop"),
+            "[   0.000ms] ERROR net: drop");
+  // Wide timestamps grow the field instead of truncating.
+  EXPECT_EQ(format_log_line(LogLevel::kWarn, SimTime::seconds(1000), "c", "m"),
+            "[1000000.000ms] WARN  c: m");
+}
+
+TEST(Logger, LevelGating) {
+  Logger logger;
+  std::vector<std::string> seen;
+  logger.set_sink([&](LogLevel, SimTime, std::string_view, std::string_view msg) {
+    seen.emplace_back(msg);
+  });
+  logger.set_level(LogLevel::kWarn);
+
+  EXPECT_FALSE(logger.enabled(LogLevel::kDebug));
+  EXPECT_FALSE(logger.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(logger.enabled(LogLevel::kWarn));
+  EXPECT_TRUE(logger.enabled(LogLevel::kError));
+
+  logger.log(LogLevel::kInfo, SimTime::zero(), "c", "filtered");
+  logger.log(LogLevel::kError, SimTime::zero(), "c", "kept");
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "kept");
+}
+
+TEST(Logger, OffLevelDisablesEverything) {
+  Logger logger;
+  bool fired = false;
+  logger.set_sink([&](LogLevel, SimTime, std::string_view, std::string_view) {
+    fired = true;
+  });
+  logger.set_level(LogLevel::kOff);
+  EXPECT_FALSE(logger.enabled(LogLevel::kError));
+  logger.log(LogLevel::kError, SimTime::zero(), "c", "m");
+  EXPECT_FALSE(fired);
+}
+
+TEST(Logger, NoSinkMeansDisabled) {
+  Logger logger;
+  logger.set_level(LogLevel::kTrace);
+  EXPECT_FALSE(logger.enabled(LogLevel::kError));
+}
+
+TEST(Logger, ExchangeSinkReturnsPrevious) {
+  Logger logger;
+  int first_calls = 0;
+  logger.set_sink([&](LogLevel, SimTime, std::string_view, std::string_view) {
+    ++first_calls;
+  });
+  logger.set_level(LogLevel::kInfo);
+
+  auto previous = logger.exchange_sink(
+      [](LogLevel, SimTime, std::string_view, std::string_view) {});
+  ASSERT_TRUE(previous);
+  logger.log(LogLevel::kInfo, SimTime::zero(), "c", "to-new-sink");
+  EXPECT_EQ(first_calls, 0);
+
+  logger.set_sink(std::move(previous));
+  logger.log(LogLevel::kInfo, SimTime::zero(), "c", "to-old-sink");
+  EXPECT_EQ(first_calls, 1);
+}
+
+TEST(Logger, ResetRestoresDefaults) {
+  Logger logger;
+  logger.set_level(LogLevel::kTrace);
+  logger.set_sink(stderr_sink());
+  logger.reset();
+  EXPECT_EQ(logger.level(), LogLevel::kOff);
+  EXPECT_FALSE(logger.enabled(LogLevel::kError));
+}
+
+TEST(CaptureSink, CapturesStructuredLines) {
+  Logger logger;
+  {
+    CaptureSink capture{logger, LogLevel::kDebug};
+    logger.log(LogLevel::kDebug, 3_ms, "bft", "pre-prepare");
+    logger.log(LogLevel::kTrace, 4_ms, "bft", "gated");  // below capture level
+    logger.log(LogLevel::kError, 5_ms, "net", "boom");
+    ASSERT_EQ(capture.lines().size(), 2u);
+    EXPECT_EQ(capture.lines()[0].level, LogLevel::kDebug);
+    EXPECT_EQ(capture.lines()[0].time, 3_ms);
+    EXPECT_EQ(capture.lines()[0].component, "bft");
+    EXPECT_EQ(capture.lines()[0].message, "pre-prepare");
+    EXPECT_EQ(capture.lines()[1].component, "net");
+    capture.clear();
+    EXPECT_TRUE(capture.lines().empty());
+  }
+}
+
+TEST(CaptureSink, RestoresPreviousSinkAndLevel) {
+  Logger logger;
+  int outer_calls = 0;
+  logger.set_sink([&](LogLevel, SimTime, std::string_view, std::string_view) {
+    ++outer_calls;
+  });
+  logger.set_level(LogLevel::kError);
+  {
+    CaptureSink capture{logger, LogLevel::kTrace};
+    logger.log(LogLevel::kInfo, SimTime::zero(), "c", "captured");
+    EXPECT_EQ(outer_calls, 0);
+    EXPECT_EQ(capture.lines().size(), 1u);
+  }
+  EXPECT_EQ(logger.level(), LogLevel::kError);
+  logger.log(LogLevel::kError, SimTime::zero(), "c", "back-to-outer");
+  EXPECT_EQ(outer_calls, 1);
+}
+
+TEST(CaptureSink, GlobalInstanceLeftPristine) {
+  Logger::instance().reset();
+  {
+    CaptureSink capture;  // defaults to the global instance
+    Logger::instance().log(LogLevel::kWarn, SimTime::zero(), "c", "m");
+    EXPECT_EQ(capture.lines().size(), 1u);
+  }
+  EXPECT_EQ(Logger::instance().level(), LogLevel::kOff);
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kError));
+}
+
+}  // namespace
+}  // namespace curb::sim

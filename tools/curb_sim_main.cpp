@@ -14,8 +14,13 @@
 //     --overhead MS                 (per-message processing overhead, default 0)
 //     --reassign                    (run RE-ASS probe rounds instead of PKT-IN)
 //     --csv                         (machine-readable output)
+//     --trace FILE                  (Chrome trace_event JSON; open in Perfetto)
+//     --trace-jsonl FILE            (span dump, one JSON object per line)
+//     --metrics-out FILE            (metrics registry snapshot, JSON)
+//     --metrics-csv FILE            (metrics registry snapshot, CSV)
 //
 // Example: curb-sim --engine hotstuff --rounds 10 --load 3 --csv
+// Example: curb-sim --rounds 5 --trace t.json --metrics-out m.json
 
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +28,7 @@
 #include <string>
 
 #include "curb/core/simulation.hpp"
+#include "curb/obs/export.hpp"
 
 namespace {
 
@@ -41,6 +47,15 @@ struct CliOptions {
   double overhead_ms = 0.0;
   bool reassign = false;
   bool csv = false;
+  std::string trace_file;
+  std::string trace_jsonl_file;
+  std::string metrics_json_file;
+  std::string metrics_csv_file;
+
+  [[nodiscard]] bool observability() const {
+    return !trace_file.empty() || !trace_jsonl_file.empty() ||
+           !metrics_json_file.empty() || !metrics_csv_file.empty();
+  }
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -48,7 +63,9 @@ struct CliOptions {
                "usage: %s [--topology internet2|random] [--controllers N]\n"
                "          [--switches M] [--seed S] [--f F] [--engine pbft|hotstuff]\n"
                "          [--rounds R] [--load L] [--parallel 0|1] [--capacity C]\n"
-               "          [--dcs MS] [--overhead MS] [--reassign] [--csv]\n",
+               "          [--dcs MS] [--overhead MS] [--reassign] [--csv]\n"
+               "          [--trace FILE] [--trace-jsonl FILE]\n"
+               "          [--metrics-out FILE] [--metrics-csv FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -75,6 +92,10 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--overhead") opts.overhead_ms = std::strtod(value(), nullptr);
     else if (arg == "--reassign") opts.reassign = true;
     else if (arg == "--csv") opts.csv = true;
+    else if (arg == "--trace") opts.trace_file = value();
+    else if (arg == "--trace-jsonl") opts.trace_jsonl_file = value();
+    else if (arg == "--metrics-out") opts.metrics_json_file = value();
+    else if (arg == "--metrics-csv") opts.metrics_csv_file = value();
     else usage(argv[0]);
   }
   return opts;
@@ -95,6 +116,7 @@ int main(int argc, char** argv) {
   options.link_model.per_message_overhead =
       curb::sim::SimTime::from_seconds_f(cli.overhead_ms / 1000.0);
   options.reass_always_solve = cli.reassign;
+  options.observability = cli.observability();
   if (cli.engine == "hotstuff") {
     options.consensus_engine = curb::bft::ConsensusEngine::kHotstuff;
   } else if (cli.engine != "pbft") {
@@ -138,6 +160,34 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(sim.chain_height()),
                 sim.chains_consistent() ? "yes" : "NO",
                 static_cast<unsigned long long>(sim.total_messages()));
+  }
+
+  if (curb::obs::Observatory* obsy = sim.network().observatory(); obsy != nullptr) {
+    sim.network().snapshot_runtime_metrics();
+    bool ok = true;
+    auto check = [&ok](bool wrote, const std::string& path) {
+      if (!wrote) {
+        std::fprintf(stderr, "curb-sim: cannot write %s\n", path.c_str());
+        ok = false;
+      }
+    };
+    if (!cli.trace_file.empty()) {
+      check(curb::obs::export_chrome_trace(obsy->tracer, cli.trace_file),
+            cli.trace_file);
+    }
+    if (!cli.trace_jsonl_file.empty()) {
+      check(curb::obs::export_spans_jsonl(obsy->tracer, cli.trace_jsonl_file),
+            cli.trace_jsonl_file);
+    }
+    if (!cli.metrics_json_file.empty()) {
+      check(curb::obs::export_metrics_json(obsy->metrics, cli.metrics_json_file),
+            cli.metrics_json_file);
+    }
+    if (!cli.metrics_csv_file.empty()) {
+      check(curb::obs::export_metrics_csv(obsy->metrics, cli.metrics_csv_file),
+            cli.metrics_csv_file);
+    }
+    if (!ok) return 1;
   }
   return sim.chains_consistent() ? 0 : 1;
 }
