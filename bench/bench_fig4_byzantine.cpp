@@ -53,6 +53,8 @@ void run_series(const char* name, CurbSimulation& sim,
                 int inject_round, std::size_t detection_window) {
   std::printf("\n-- %s --\n", name);
   curb::bench::print_row_header({"round", "lat_ms", "tps", "removed"});
+  curb::sim::Summary lat_all;
+  curb::sim::Summary tps_all;
   for (int round = 1; round <= kRounds; ++round) {
     if (round == inject_round) {
       for (const auto v : victims) {
@@ -79,7 +81,16 @@ void run_series(const char* name, CurbSimulation& sim,
     curb::bench::print_cell(m.throughput_tps);
     curb::bench::print_cell(static_cast<double>(removed));
     curb::bench::end_row();
+    lat_all.add(m.mean_latency_ms);
+    tps_all.add(m.throughput_tps);
   }
+  curb::bench::BenchResults::add(
+      "fig4_byzantine",
+      {{"experiment", name}, {"victims", std::to_string(victims.size())}},
+      {{"latency_ms", lat_all.mean()},
+       {"tps", tps_all.mean()},
+       {"messages", static_cast<double>(sim.total_messages())}},
+      &sim.network());
   (void)detection_window;
 }
 

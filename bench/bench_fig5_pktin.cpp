@@ -65,6 +65,15 @@ int main() {
     const Sample s_tp = measure(sim_s, switches, 3);
     // CURB_TRACE / CURB_METRICS_OUT capture the last configuration swept.
     curb::bench::export_obs_from_env(sim_p.network());
+    curb::bench::BenchResults::add(
+        "fig5_pktin",
+        {{"sweep", "switches"}, {"switches", std::to_string(switches)}, {"f", "1"}},
+        {{"latency_ms", p.latency_ms},
+         {"latency_err_ms", p.latency_err},
+         {"tps_parallel", p_tp.tps},
+         {"tps_nonparallel", s_tp.tps},
+         {"messages", static_cast<double>(sim_p.total_messages())}},
+        &sim_p.network());
 
     curb::bench::print_cell(static_cast<double>(switches));
     curb::bench::print_cell(p.latency_ms);
@@ -88,6 +97,14 @@ int main() {
     CurbSimulation sim{opts};
     const Sample sample = measure(sim, 34, 3);
     curb::bench::export_obs_from_env(sim.network());
+    curb::bench::BenchResults::add(
+        "fig5_pktin",
+        {{"sweep", "f"}, {"switches", "34"}, {"f", std::to_string(f)}},
+        {{"latency_ms", sample.latency_ms},
+         {"latency_err_ms", sample.latency_err},
+         {"tps", sample.tps},
+         {"messages", static_cast<double>(sim.total_messages())}},
+        &sim.network());
     curb::bench::print_cell(static_cast<double>(f));
     curb::bench::print_cell(static_cast<double>(3 * f + 1));
     curb::bench::print_cell(sample.latency_ms);

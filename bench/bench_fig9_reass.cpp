@@ -74,6 +74,22 @@ int main() {
     const Sample l = measure(lcr, switches);
     // CURB_TRACE / CURB_METRICS_OUT capture the last configuration swept.
     curb::bench::export_obs_from_env(tcr.network());
+    curb::bench::BenchResults::add(
+        "fig9_reass",
+        {{"sweep", "switches"}, {"switches", std::to_string(switches)},
+         {"objective", "TCR"}, {"f", "1"}},
+        {{"latency_ms", t.latency_ms},
+         {"tps", t.tps},
+         {"messages", static_cast<double>(tcr.total_messages())}},
+        &tcr.network());
+    curb::bench::BenchResults::add(
+        "fig9_reass",
+        {{"sweep", "switches"}, {"switches", std::to_string(switches)},
+         {"objective", "LCR"}, {"f", "1"}},
+        {{"latency_ms", l.latency_ms},
+         {"tps", l.tps},
+         {"messages", static_cast<double>(lcr.total_messages())}},
+        &lcr.network());
     curb::bench::print_cell(static_cast<double>(switches));
     curb::bench::print_cell(t.latency_ms);
     curb::bench::print_cell(l.latency_ms);
@@ -88,6 +104,12 @@ int main() {
     CurbSimulation sim{reass_options(CapObjective::kTrivial, f)};
     const Sample s = measure(sim, 34);
     curb::bench::export_obs_from_env(sim.network());
+    curb::bench::BenchResults::add(
+        "fig9_reass",
+        {{"sweep", "f"}, {"switches", "34"}, {"objective", "TCR"},
+         {"f", std::to_string(f)}},
+        {{"tps", s.tps}, {"messages", static_cast<double>(sim.total_messages())}},
+        &sim.network());
     curb::bench::print_cell(static_cast<double>(f));
     curb::bench::print_cell(static_cast<double>(3 * f + 1));
     curb::bench::print_cell(s.tps);

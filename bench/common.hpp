@@ -8,12 +8,17 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "curb/core/network.hpp"
 #include "curb/core/options.hpp"
+#include "curb/obs/analysis.hpp"
 #include "curb/obs/export.hpp"
+#include "curb/obs/report.hpp"
 #include "curb/sim/stats.hpp"
 
 namespace curb::bench {
@@ -43,11 +48,14 @@ inline void end_row() { std::printf("\n"); }
 /// Environment-driven observability: set CURB_TRACE / CURB_TRACE_JSONL /
 /// CURB_METRICS_OUT / CURB_METRICS_CSV to file paths to capture a protocol
 /// trace or metrics snapshot from any bench binary without recompiling.
+/// CURB_BENCH_OUT also turns tracing on so the bench results file can carry
+/// the per-phase latency breakdown.
 inline bool obs_enabled_from_env() {
   return std::getenv("CURB_TRACE") != nullptr ||
          std::getenv("CURB_TRACE_JSONL") != nullptr ||
          std::getenv("CURB_METRICS_OUT") != nullptr ||
-         std::getenv("CURB_METRICS_CSV") != nullptr;
+         std::getenv("CURB_METRICS_CSV") != nullptr ||
+         std::getenv("CURB_BENCH_OUT") != nullptr;
 }
 
 /// Paper-calibrated options for the protocol benches: Internet2, f = 1,
@@ -73,6 +81,70 @@ inline core::CurbOptions paper_options() {
   opts.observability = obs_enabled_from_env();
   return opts;
 }
+
+/// Consolidated machine-readable bench results. Each bench appends one entry
+/// per measured configuration; the collected entries are written as a JSON
+/// array at process exit to CURB_BENCH_OUT (default BENCH_results.json; set
+/// it to the empty string to disable). When the configuration's network ran
+/// with observability on, the entry also carries the end-to-end latency
+/// stats and the per-phase breakdown from curb-trace analysis.
+class BenchResults {
+ public:
+  static void add(const std::string& bench,
+                  const std::vector<std::pair<std::string, std::string>>& params,
+                  const std::vector<std::pair<std::string, double>>& metrics,
+                  core::CurbNetwork* network = nullptr) {
+    std::ostringstream entry;
+    entry << "{\"bench\":\"" << obs::json_escape(bench) << "\",\"params\":{";
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (i > 0) entry << ",";
+      entry << "\"" << obs::json_escape(params[i].first) << "\":\""
+            << obs::json_escape(params[i].second) << "\"";
+    }
+    entry << "},\"metrics\":{";
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+      char value[64];
+      std::snprintf(value, sizeof value, "%.3f", metrics[i].second);
+      if (i > 0) entry << ",";
+      entry << "\"" << obs::json_escape(metrics[i].first) << "\":" << value;
+    }
+    entry << "}";
+    if (network != nullptr && network->observatory() != nullptr) {
+      const obs::TraceAnalysis analysis =
+          obs::TraceAnalysis::from_tracer(network->observatory()->tracer);
+      entry << ",\"e2e_us\":";
+      obs::write_latency_stats_json(analysis.e2e(), entry);
+      entry << ",\"phases\":";
+      obs::write_phase_breakdown_json(analysis, entry);
+      entry << ",\"anomalies\":" << analysis.findings().size();
+    }
+    entry << "}";
+    instance().entries_.push_back(entry.str());
+  }
+
+ private:
+  BenchResults() = default;
+  ~BenchResults() {
+    if (entries_.empty()) return;
+    const char* env = std::getenv("CURB_BENCH_OUT");
+    const std::string path = env != nullptr ? env : "BENCH_results.json";
+    if (path.empty()) return;
+    std::ofstream out{path, std::ios::binary | std::ios::trunc};
+    if (!out) return;
+    out << "[\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      out << entries_[i] << (i + 1 < entries_.size() ? ",\n" : "\n");
+    }
+    out << "]\n";
+  }
+
+  static BenchResults& instance() {
+    static BenchResults results;
+    return results;
+  }
+
+  std::vector<std::string> entries_;
+};
 
 /// Write whatever the CURB_* env vars request from this network's
 /// observatory. No-op when observability is off.

@@ -361,6 +361,9 @@ void PbftReplica::obs_slot_accepted_impl(std::uint64_t sequence, SlotState& s) {
   obs::Attrs attrs = config_.span_attrs;
   attrs.emplace_back("seq", std::to_string(sequence));
   attrs.emplace_back("view", std::to_string(view_));
+  // Join key of the traced-event contract (DESIGN.md §9): the payload digest
+  // ties this consensus slot to the AGREE / block_commit stage it feeds.
+  if (s.digest) attrs.emplace_back("digest", crypto::short_hex(*s.digest, 8));
   // Slots interleave on the replica track, so the slot span is a root and
   // every phase hangs explicitly off its own slot.
   s.span = tracer.begin_under({}, config_.span_prefix, config_.span_track, attrs);

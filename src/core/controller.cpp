@@ -27,6 +27,28 @@ std::uint64_t stage_key(std::uint32_t instance, const crypto::Hash256& digest) {
   for (std::size_t i = 0; i < 8; ++i) k = (k << 8) | digest[i];
   return k ^ (static_cast<std::uint64_t>(instance) * 0x9e3779b97f4a7c15ULL);
 }
+
+/// Traced-event contract join key (DESIGN.md §9): the transactions a stage
+/// span carries, as comma-separated "switch:request" pairs. Lets trace
+/// analysis chain pkt_in -> agree -> block_commit without guessing by time.
+std::string txns_attr(const std::vector<chain::Transaction>& txs) {
+  std::string out;
+  for (const chain::Transaction& tx : txs) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(tx.switch_id());
+    out += ':';
+    out += std::to_string(tx.request_id());
+  }
+  return out;
+}
+
+std::string txns_attr_from_payload(const std::vector<std::uint8_t>& payload) {
+  try {
+    return txns_attr(deserialize_tx_list(payload));
+  } catch (const std::exception&) {
+    return {};
+  }
+}
 }  // namespace
 
 Controller::Controller(std::uint32_t id, net::NodeId node, crypto::KeyPair key,
@@ -533,8 +555,11 @@ void Controller::on_intra_committed(std::uint32_t instance,
   // AGREE stage span: opened by whichever group member commits first,
   // closed when a committee member assembles the f+1 quorum.
   if (obs::Observatory* obsy = network_.observatory(); obsy != nullptr) {
-    obsy->tracer.begin_keyed(stage_key(instance, bft::payload_digest(payload)), "agree",
-                             "protocol", {{"instance", std::to_string(instance)}});
+    const auto digest = bft::payload_digest(payload);
+    obsy->tracer.begin_keyed(stage_key(instance, digest), "agree", "protocol",
+                             {{"instance", std::to_string(instance)},
+                              {"digest", crypto::short_hex(digest, 8)},
+                              {"txns", txns_attr_from_payload(payload)}});
   }
   // Algorithm 3 line 12: broadcast AGREE to the final committee.
   AgreeMsg agree{instance, id_, payload};
@@ -626,19 +651,24 @@ void Controller::flush_block_buffer() {
       blockchain_->height() + 1, blockchain_->tip().hash(), std::move(txs),
       static_cast<std::uint64_t>(network_.simulator().now().as_micros()), id_);
   // block_commit stage span: proposal at the final leader -> first
-  // controller to apply the block (keyed by the block hash).
+  // controller to apply the block (keyed by the block hash). The digest attr
+  // is the Final-PBFT payload digest, joining this stage to the final_pbft
+  // slot spans; txns joins it back to the pkt_in round spans.
+  auto block_bytes = block.serialize();
   if (obs::Observatory* obsy = network_.observatory(); obsy != nullptr) {
     obsy->tracer.begin_keyed(
         stage_key(PbftEnvelope::kFinalInstance, block.hash()), "block_commit", "protocol",
         {{"height", std::to_string(block.header().height)},
-         {"txs", std::to_string(block.transactions().size())}});
+         {"txs", std::to_string(block.transactions().size())},
+         {"digest", crypto::short_hex(bft::payload_digest(block_bytes), 8)},
+         {"txns", txns_attr(block.transactions())}});
   }
   ++stats_.blocks_proposed;
   trace(network_.simulator(), id_,
         "propose block h=" + std::to_string(block.header().height) +
             " txs=" + std::to_string(block.transactions().size()));
   final_proposal_in_flight_ = true;
-  final_replica_->propose(block.serialize());
+  final_replica_->propose(std::move(block_bytes));
 }
 
 // --- Step 3 -> 4: final consensus completes -----------------------------------

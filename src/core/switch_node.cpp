@@ -67,7 +67,8 @@ void SwitchNode::on_message(net::NodeId /*from*/, const CurbMessage& msg) {
                 !reply_spans_.contains(m.request_id)) {
               reply_spans_[m.request_id] = obsy->tracer.begin_under(
                   request_spans_[m.request_id], "reply_quorum", track_,
-                  {{"request", std::to_string(m.request_id)}});
+                  {{"request", std::to_string(m.request_id)},
+                   {"switch", std::to_string(switch_id_)}});
             }
             agent_.on_reply(m.controller_id, m.request_id, m.config);
           }
@@ -101,6 +102,7 @@ void SwitchNode::on_packet_in(const sdn::Packet& packet, std::uint64_t buffer_id
     request_spans_[request_id] =
         obsy->tracer.begin_under({}, "pkt_in", track_,
                                  {{"request", std::to_string(request_id)},
+                                  {"switch", std::to_string(switch_id_)},
                                   {"src", std::to_string(packet.src_host)},
                                   {"dst", std::to_string(packet.dst_host)}});
   }
@@ -122,6 +124,7 @@ void SwitchNode::request_reassignment(const std::vector<std::uint32_t>& byzantin
     request_spans_[request_id] =
         obsy->tracer.begin_under({}, "reass_request", track_,
                                  {{"request", std::to_string(request_id)},
+                                  {"switch", std::to_string(switch_id_)},
                                   {"accused", std::to_string(fresh.size())}});
   }
 }

@@ -1,0 +1,430 @@
+#include "curb/obs/analysis.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+namespace curb::obs {
+
+namespace {
+
+using TxnKey = std::pair<std::uint32_t, std::uint64_t>;  // (switch, request)
+
+const std::string* find_attr(const SpanRecord& s, std::string_view key) {
+  for (const auto& [k, v] : s.attrs) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(s.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+/// Parse a `txns` attr ("switch:request,switch:request,...") into keys.
+std::vector<TxnKey> parse_txns(const std::string& attr) {
+  std::vector<TxnKey> keys;
+  std::size_t pos = 0;
+  while (pos < attr.size()) {
+    std::size_t comma = attr.find(',', pos);
+    if (comma == std::string::npos) comma = attr.size();
+    const std::string pair = attr.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t colon = pair.find(':');
+    if (colon == std::string::npos) continue;
+    std::uint64_t sw = 0;
+    std::uint64_t request = 0;
+    if (parse_u64(pair.substr(0, colon), sw) && parse_u64(pair.substr(colon + 1), request)) {
+      keys.emplace_back(static_cast<std::uint32_t>(sw), request);
+    }
+  }
+  return keys;
+}
+
+bool ends_with(std::string_view name, std::string_view suffix) {
+  return name.size() >= suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+LatencyStats make_latency_stats(std::vector<std::int64_t> samples_us) {
+  LatencyStats stats;
+  if (samples_us.empty()) return stats;
+  std::sort(samples_us.begin(), samples_us.end());
+  stats.count = samples_us.size();
+  for (const std::int64_t v : samples_us) stats.sum_us += v;
+  stats.min_us = samples_us.front();
+  stats.max_us = samples_us.back();
+  // Nearest-rank percentiles: exact, deterministic, no interpolation.
+  const auto rank = [&](double q) {
+    const auto n = static_cast<double>(samples_us.size());
+    auto idx = static_cast<std::size_t>(q / 100.0 * n + 0.999999);
+    if (idx == 0) idx = 1;
+    if (idx > samples_us.size()) idx = samples_us.size();
+    return samples_us[idx - 1];
+  };
+  stats.p50_us = rank(50);
+  stats.p90_us = rank(90);
+  stats.p99_us = rank(99);
+  return stats;
+}
+
+TraceAnalysis TraceAnalysis::from_tracer(const Tracer& tracer) {
+  return TraceAnalysis{tracer.spans()};
+}
+
+TraceAnalysis::TraceAnalysis(std::vector<SpanRecord> spans) : spans_{std::move(spans)} {
+  reconstruct_transactions();
+  detect_anomalies();
+  aggregate();
+}
+
+void TraceAnalysis::reconstruct_transactions() {
+  // --- Stage indexes keyed by the contract's join attrs -------------------
+  std::map<std::uint64_t, const SpanRecord*> by_id;
+  std::map<std::uint64_t, std::vector<const SpanRecord*>> children;
+  for (const SpanRecord& s : spans_) {
+    by_id.emplace(s.id, &s);
+    if (s.parent != 0) children[s.parent].push_back(&s);
+  }
+
+  // Representative consensus slot per payload digest: the earliest-starting
+  // closed slot (the proposing leader accepts first). View-change
+  // re-proposals of the same payload produce later slots and lose the tie.
+  std::map<std::string, const SpanRecord*> intra_by_digest;
+  std::map<std::string, const SpanRecord*> final_by_digest;
+  const auto consider = [](std::map<std::string, const SpanRecord*>& index,
+                           const std::string& digest, const SpanRecord& s) {
+    auto [it, inserted] = index.emplace(digest, &s);
+    if (inserted) return;
+    const SpanRecord& held = *it->second;
+    if (s.start < held.start || (s.start == held.start && s.id < held.id)) {
+      it->second = &s;
+    }
+  };
+
+  // First AGREE / block_commit stage per transaction key.
+  std::map<TxnKey, const SpanRecord*> agree_by_txn;
+  std::map<TxnKey, const SpanRecord*> block_by_txn;
+
+  for (const SpanRecord& s : spans_) {
+    if (s.name == "intra_pbft" || s.name == "final_pbft") {
+      if (s.open) continue;  // stalled slots are anomalies, not milestones
+      if (const std::string* digest = find_attr(s, "digest")) {
+        consider(s.name == "intra_pbft" ? intra_by_digest : final_by_digest, *digest, s);
+      }
+    } else if (s.name == "agree" || s.name == "block_commit") {
+      if (const std::string* txns = find_attr(s, "txns")) {
+        auto& index = s.name == "agree" ? agree_by_txn : block_by_txn;
+        for (const TxnKey& key : parse_txns(*txns)) {
+          const auto [it, inserted] = index.emplace(key, &s);
+          if (!inserted && s.id < it->second->id) it->second = &s;
+        }
+      }
+    }
+  }
+
+  // --- Per-root reconstruction -------------------------------------------
+  for (const SpanRecord& root : spans_) {
+    if (root.name != "pkt_in" && root.name != "reass_request") continue;
+    TransactionTrace txn;
+    txn.kind = root.name;
+    txn.root_span = root.id;
+    txn.start_us = root.start.as_micros();
+    txn.end_us = root.end.as_micros();
+    txn.complete = !root.open;
+    const std::string* request_attr = find_attr(root, "request");
+    const std::string* switch_attr = find_attr(root, "switch");
+    std::uint64_t sw = 0;
+    if (request_attr == nullptr || !parse_u64(*request_attr, txn.request_id)) continue;
+    if (switch_attr != nullptr && parse_u64(*switch_attr, sw)) {
+      txn.switch_id = static_cast<std::uint32_t>(sw);
+    } else if (root.track.rfind("sw-", 0) == 0 && parse_u64(root.track.substr(3), sw)) {
+      txn.switch_id = static_cast<std::uint32_t>(sw);  // pre-contract traces
+    } else {
+      continue;
+    }
+    const TxnKey key{txn.switch_id, txn.request_id};
+
+    const auto child_it = children.find(root.id);
+    if (child_it != children.end()) {
+      for (const SpanRecord* c : child_it->second) {
+        if (c->name == "reply_quorum" && txn.reply_span == 0) txn.reply_span = c->id;
+      }
+    }
+
+    const SpanRecord* agree = nullptr;
+    const SpanRecord* block = nullptr;
+    const SpanRecord* intra = nullptr;
+    const SpanRecord* final_slot = nullptr;
+    if (const auto it = agree_by_txn.find(key); it != agree_by_txn.end()) {
+      agree = it->second;
+      txn.agree_span = agree->id;
+      if (const std::string* inst = find_attr(*agree, "instance")) {
+        std::uint64_t v = 0;
+        if (parse_u64(*inst, v)) {
+          txn.instance = static_cast<std::uint32_t>(v);
+          txn.has_instance = true;
+        }
+      }
+      if (const std::string* digest = find_attr(*agree, "digest")) {
+        if (const auto slot = intra_by_digest.find(*digest); slot != intra_by_digest.end()) {
+          intra = slot->second;
+          txn.intra_span = intra->id;
+        }
+      }
+    }
+    if (const auto it = block_by_txn.find(key); it != block_by_txn.end()) {
+      block = it->second;
+      txn.block_span = block->id;
+      if (const std::string* digest = find_attr(*block, "digest")) {
+        if (const auto slot = final_by_digest.find(*digest); slot != final_by_digest.end()) {
+          final_slot = slot->second;
+          txn.final_span = final_slot->id;
+        }
+      }
+    }
+
+    // --- Critical path: clamped-monotonic milestone walk. A phase whose
+    // closing milestone was never observed folds into the next observed
+    // phase; negative inter-phase gaps (a stage reported marginally before
+    // its predecessor closed) are clamped and tallied in overlap_us.
+    if (txn.complete) {
+      struct Milestone {
+        Phase phase;
+        bool present;
+        std::int64_t at_us;
+        std::uint64_t span;
+      };
+      const std::array<Milestone, 6> milestones{{
+          {Phase::kDispatch, intra != nullptr,
+           intra != nullptr ? intra->start.as_micros() : 0,
+           intra != nullptr ? intra->id : 0},
+          {Phase::kIntraPbft, agree != nullptr,
+           agree != nullptr ? agree->start.as_micros() : 0,
+           agree != nullptr ? agree->id : 0},
+          {Phase::kAgree, agree != nullptr && !agree->open,
+           agree != nullptr ? agree->end.as_micros() : 0,
+           agree != nullptr ? agree->id : 0},
+          {Phase::kBlockWait, block != nullptr,
+           block != nullptr ? block->start.as_micros() : 0,
+           block != nullptr ? block->id : 0},
+          {Phase::kFinalPbft, block != nullptr && !block->open,
+           block != nullptr ? block->end.as_micros() : 0,
+           block != nullptr ? block->id : 0},
+          {Phase::kReply, true, txn.end_us, txn.reply_span},
+      }};
+      std::int64_t cursor = txn.start_us;
+      for (const Milestone& m : milestones) {
+        if (!m.present) continue;
+        const std::int64_t end = std::max(cursor, m.at_us);
+        if (m.at_us < cursor) txn.overlap_us += cursor - m.at_us;
+        txn.segments.push_back(Segment{m.phase, cursor, end, m.span});
+        cursor = end;
+      }
+    }
+    transactions_.push_back(std::move(txn));
+  }
+
+  std::sort(transactions_.begin(), transactions_.end(),
+            [](const TransactionTrace& a, const TransactionTrace& b) {
+              return a.root_span < b.root_span;
+            });
+}
+
+void TraceAnalysis::detect_anomalies() {
+  std::map<std::uint64_t, const SpanRecord*> by_id;
+  for (const SpanRecord& s : spans_) by_id.emplace(s.id, &s);
+
+  // The set of transactions some block_commit sealed: an AGREE quorum whose
+  // transactions never reached a block is a protocol conformance failure.
+  std::set<std::uint64_t> sealed_agrees;
+  {
+    std::map<TxnKey, std::vector<std::uint64_t>> agree_txns;
+    for (const SpanRecord& s : spans_) {
+      if (s.name != "agree") continue;
+      if (const std::string* txns = find_attr(s, "txns")) {
+        for (const TxnKey& key : parse_txns(*txns)) agree_txns[key].push_back(s.id);
+      }
+    }
+    for (const SpanRecord& s : spans_) {
+      if (s.name != "block_commit") continue;
+      if (const std::string* txns = find_attr(s, "txns")) {
+        for (const TxnKey& key : parse_txns(*txns)) {
+          if (const auto it = agree_txns.find(key); it != agree_txns.end()) {
+            sealed_agrees.insert(it->second.begin(), it->second.end());
+          }
+        }
+      }
+    }
+  }
+
+  const auto attr_or = [](const SpanRecord& s, std::string_view key,
+                          const char* fallback) -> std::string {
+    const std::string* v = find_attr(s, key);
+    return v != nullptr ? *v : fallback;
+  };
+
+  for (const SpanRecord& s : spans_) {
+    // --- Open spans at export time ------------------------------------
+    if (s.open) {
+      if (s.name == "pkt_in" || s.name == "reass_request") {
+        findings_.push_back(
+            {"unserved_request", Finding::Severity::kError,
+             s.name + " request " + attr_or(s, "request", "?") + " on switch " +
+                 attr_or(s, "switch", "?") + " never reached a reply quorum",
+             s.track,
+             {s.id},
+             s.start.as_micros()});
+      } else if (s.name == "reply_quorum") {
+        findings_.push_back(
+            {"short_reply_quorum", Finding::Severity::kError,
+             "reply quorum for request " + attr_or(s, "request", "?") + " on switch " +
+                 attr_or(s, "switch", "?") + " saw a first REPLY but never f+1",
+             s.track,
+             {s.id},
+             s.start.as_micros()});
+      } else if (s.name == "agree") {
+        findings_.push_back({"orphaned_agree", Finding::Severity::kError,
+                             "AGREE stage for instance " + attr_or(s, "instance", "?") +
+                                 " (digest " + attr_or(s, "digest", "?") +
+                                 ") never assembled f+1 matching AGREEs",
+                             s.track,
+                             {s.id},
+                             s.start.as_micros()});
+      } else if (s.name == "block_commit") {
+        findings_.push_back({"uncommitted_block", Finding::Severity::kError,
+                             "block at height " + attr_or(s, "height", "?") +
+                                 " was proposed but never applied by any controller",
+                             s.track,
+                             {s.id},
+                             s.start.as_micros()});
+      } else if (s.name == "intra_pbft" || s.name == "final_pbft") {
+        findings_.push_back({"stalled_round", Finding::Severity::kError,
+                             s.name + " slot seq=" + attr_or(s, "seq", "?") + " view=" +
+                                 attr_or(s, "view", "?") + " on " + s.track +
+                                 " accepted a proposal but never executed",
+                             s.track,
+                             {s.id},
+                             s.start.as_micros()});
+      } else {
+        findings_.push_back({"open_span", Finding::Severity::kWarning,
+                             "span '" + s.name + "' still open at export",
+                             s.track,
+                             {s.id},
+                             s.start.as_micros()});
+      }
+      continue;
+    }
+
+    // --- Instants: timeouts and view changes --------------------------
+    if (ends_with(s.name, ".timeout")) {
+      findings_.push_back({"consensus_timeout", Finding::Severity::kWarning,
+                           s.name + " seq=" + attr_or(s, "seq", "?") + " on " + s.track +
+                               ": commit timeout fired, view change initiated",
+                           s.track,
+                           {s.id},
+                           s.start.as_micros()});
+    } else if (ends_with(s.name, ".view_change")) {
+      findings_.push_back({"view_change", Finding::Severity::kWarning,
+                           s.name + " on " + s.track + ": view " +
+                               attr_or(s, "view", "?") +
+                               " installed after the previous view stalled",
+                           s.track,
+                           {s.id},
+                           s.start.as_micros()});
+    } else if (s.name == "agree" && !sealed_agrees.contains(s.id)) {
+      findings_.push_back({"unsealed_agree", Finding::Severity::kWarning,
+                           "AGREE quorum for instance " + attr_or(s, "instance", "?") +
+                               " (digest " + attr_or(s, "digest", "?") +
+                               ") was never sealed into a committed block",
+                           s.track,
+                           {s.id},
+                           s.end.as_micros()});
+    }
+
+    // --- Structural checks --------------------------------------------
+    if (s.parent != 0) {
+      const auto parent_it = by_id.find(s.parent);
+      if (parent_it == by_id.end()) {
+        findings_.push_back({"dangling_parent", Finding::Severity::kWarning,
+                             "span '" + s.name + "' references missing parent span " +
+                                 std::to_string(s.parent),
+                             s.track,
+                             {s.id},
+                             s.start.as_micros()});
+      } else {
+        const SpanRecord& parent = *parent_it->second;
+        const bool starts_early = s.start < parent.start;
+        const bool ends_late = !parent.open && s.end > parent.end;
+        if (starts_early || ends_late) {
+          findings_.push_back(
+              {"phase_order_violation", Finding::Severity::kError,
+               "phase '" + s.name + "' runs outside its parent '" + parent.name +
+                   "' (" + (starts_early ? "starts before it" : "ends after it") + ")",
+               s.track,
+               {s.id, parent.id},
+               s.start.as_micros()});
+        }
+      }
+    }
+    if (s.end < s.start) {
+      findings_.push_back({"phase_order_violation", Finding::Severity::kError,
+                           "span '" + s.name + "' ends before it starts",
+                           s.track,
+                           {s.id},
+                           s.start.as_micros()});
+    }
+  }
+
+  // Complete transactions must carry a reply-quorum stage: acceptance
+  // without one means the f+1 REPLY wave was never traced.
+  for (const TransactionTrace& txn : transactions_) {
+    if (txn.complete && txn.reply_span == 0) {
+      findings_.push_back({"missing_reply_quorum", Finding::Severity::kWarning,
+                           txn.kind + " request " + std::to_string(txn.request_id) +
+                               " on switch " + std::to_string(txn.switch_id) +
+                               " was accepted without a traced reply quorum",
+                           "sw-" + std::to_string(txn.switch_id),
+                           {txn.root_span},
+                           txn.start_us});
+    }
+  }
+
+  std::stable_sort(findings_.begin(), findings_.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.at_us != b.at_us) return a.at_us < b.at_us;
+                     const std::uint64_t sa = a.spans.empty() ? 0 : a.spans.front();
+                     const std::uint64_t sb = b.spans.empty() ? 0 : b.spans.front();
+                     if (sa != sb) return sa < sb;
+                     return a.detector < b.detector;
+                   });
+}
+
+void TraceAnalysis::aggregate() {
+  std::vector<std::int64_t> e2e_samples;
+  std::map<Phase, std::vector<std::int64_t>> phase_samples;
+  std::map<std::uint32_t, std::vector<std::int64_t>> group_samples;
+  for (const TransactionTrace& txn : transactions_) {
+    if (!txn.complete) continue;
+    ++complete_count_;
+    e2e_samples.push_back(txn.latency_us());
+    for (const Segment& seg : txn.segments) {
+      phase_samples[seg.phase].push_back(seg.duration_us());
+    }
+    if (txn.has_instance) group_samples[txn.instance].push_back(txn.latency_us());
+  }
+  e2e_ = make_latency_stats(std::move(e2e_samples));
+  for (auto& [phase, samples] : phase_samples) {
+    phase_stats_.emplace(phase, make_latency_stats(std::move(samples)));
+  }
+  for (auto& [group, samples] : group_samples) {
+    group_stats_.emplace(group, make_latency_stats(std::move(samples)));
+  }
+}
+
+}  // namespace curb::obs

@@ -220,6 +220,11 @@ std::vector<SpanRecord> parse_spans_jsonl(std::istream& in) {
 }
 
 void write_chrome_trace(const Tracer& tracer, std::ostream& out) {
+  write_chrome_trace(tracer, nullptr, out);
+}
+
+void write_chrome_trace(const Tracer& tracer, const MetricsRegistry* registry,
+                        std::ostream& out) {
   // tid per track, in first-use order; clamp open spans to the trace end.
   sim::SimTime last = sim::SimTime::zero();
   for (const SpanRecord& s : tracer.spans()) {
@@ -252,6 +257,29 @@ void write_chrome_trace(const Tracer& tracer, std::ostream& out) {
       out << ",\"" << json_escape(k) << "\":\"" << json_escape(v) << "\"";
     }
     out << "}}";
+  }
+  if (registry != nullptr) {
+    // Counter/gauge series as "C" events at the trace-end timestamp: the
+    // registry snapshots final values (not time series), so each renders as
+    // a one-sample counter track next to the spans.
+    for (const auto& [key, m] : registry->metrics()) {
+      std::string value;
+      switch (m.kind) {
+        case MetricsRegistry::Kind::kCounter:
+          value = std::to_string(m.counter->value());
+          break;
+        case MetricsRegistry::Kind::kGauge:
+          value = format_double(m.gauge->value());
+          break;
+        case MetricsRegistry::Kind::kHistogram:
+          continue;  // histograms already export via write_metrics_json
+      }
+      if (!first) out << ",";
+      first = false;
+      out << "{\"ph\":\"C\",\"pid\":0,\"name\":\"" << json_escape(key)
+          << "\",\"ts\":" << last.as_micros() << ",\"args\":{\"value\":" << value
+          << "}}";
+    }
   }
   out << "],\"displayTimeUnit\":\"ms\"}\n";
 }
@@ -340,6 +368,12 @@ bool export_spans_jsonl(const Tracer& tracer, const std::string& path) {
 
 bool export_chrome_trace(const Tracer& tracer, const std::string& path) {
   return export_to_file(path, [&](std::ostream& out) { write_chrome_trace(tracer, out); });
+}
+
+bool export_chrome_trace(const Tracer& tracer, const MetricsRegistry* registry,
+                         const std::string& path) {
+  return export_to_file(
+      path, [&](std::ostream& out) { write_chrome_trace(tracer, registry, out); });
 }
 
 bool export_metrics_json(const MetricsRegistry& registry, const std::string& path) {

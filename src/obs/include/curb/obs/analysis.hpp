@@ -1,0 +1,180 @@
+#pragma once
+
+// Causal protocol analytics over recorded span traces (curb-trace).
+//
+// TraceAnalysis ingests SpanRecords — straight from a live Tracer or parsed
+// back from a spans-JSONL export — and reconstructs, per transaction, the
+// causal chain of Algorithm 1:
+//
+//   pkt_in -> intra_pbft{pre_prepare,prepare,commit} -> agree -> final_pbft
+//          -> block_commit -> reply_quorum
+//
+// The reconstruction never guesses by time proximity: it follows the join
+// keys of the traced-event contract (DESIGN.md §9) — the `txns` attr on
+// agree/block_commit stages names the (switch, request) pairs they carry,
+// and the `digest` attr ties those stages to the consensus slot spans that
+// ordered them.
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "curb/obs/trace.hpp"
+
+namespace curb::obs {
+
+/// Critical-path phases of one transaction, in protocol order. Consecutive
+/// phases share a boundary milestone, so the per-phase durations of a
+/// complete transaction sum exactly to its end-to-end latency (overlap at a
+/// boundary — a stage reported slightly before its predecessor closed — is
+/// clamped to zero and accumulated in TransactionTrace::overlap_us).
+enum class Phase : std::uint8_t {
+  kDispatch,   // pkt_in open -> serving group's consensus slot accepts
+  kIntraPbft,  // slot accept -> first group member commits (AGREE opens)
+  kAgree,      // AGREE broadcast -> f+1 matching AGREEs at the committee
+  kBlockWait,  // AGREE quorum -> final leader proposes the enclosing block
+  kFinalPbft,  // block proposal -> first controller applies the block
+  kReply,      // block applied -> f+1 matching REPLYs accepted at the switch
+};
+
+inline constexpr std::array<Phase, 6> kPhaseOrder{
+    Phase::kDispatch, Phase::kIntraPbft, Phase::kAgree,
+    Phase::kBlockWait, Phase::kFinalPbft, Phase::kReply,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Phase p) {
+  switch (p) {
+    case Phase::kDispatch: return "dispatch";
+    case Phase::kIntraPbft: return "intra_pbft";
+    case Phase::kAgree: return "agree";
+    case Phase::kBlockWait: return "block_wait";
+    case Phase::kFinalPbft: return "final_pbft";
+    case Phase::kReply: return "reply";
+  }
+  return "?";
+}
+
+/// One segment of a transaction's critical path. `span_id` names the span
+/// that defines the segment's closing milestone (0 when the milestone was
+/// inferred from the root span itself).
+struct Segment {
+  Phase phase = Phase::kDispatch;
+  std::int64_t start_us = 0;
+  std::int64_t end_us = 0;
+  std::uint64_t span_id = 0;
+  [[nodiscard]] std::int64_t duration_us() const { return end_us - start_us; }
+};
+
+/// One reconstructed transaction: a pkt_in / reass_request round span plus
+/// every protocol stage reached on its behalf.
+struct TransactionTrace {
+  std::uint32_t switch_id = 0;
+  std::uint64_t request_id = 0;
+  std::string kind;  // root span name: "pkt_in" | "reass_request"
+  std::uint64_t root_span = 0;
+  std::int64_t start_us = 0;
+  std::int64_t end_us = 0;
+  bool complete = false;  // root span closed (request accepted)
+  /// Serving group's consensus instance (from the agree stage), when reached.
+  std::uint32_t instance = 0;
+  bool has_instance = false;
+  /// Stage span ids along the chain; 0 = stage never observed.
+  std::uint64_t intra_span = 0;
+  std::uint64_t agree_span = 0;
+  std::uint64_t block_span = 0;
+  std::uint64_t final_span = 0;
+  std::uint64_t reply_span = 0;
+  /// Critical path: contiguous, clamped-monotonic segments covering
+  /// [start_us, end_us] for complete transactions.
+  std::vector<Segment> segments;
+  /// Total negative inter-phase gap clamped away while building segments.
+  std::int64_t overlap_us = 0;
+
+  [[nodiscard]] std::int64_t latency_us() const { return end_us - start_us; }
+};
+
+/// A protocol-conformance finding. Findings with severity >= kWarning count
+/// as anomalies; a clean run reports none.
+struct Finding {
+  enum class Severity : std::uint8_t { kWarning, kError };
+  std::string detector;  // stable machine-readable id, e.g. "stalled_round"
+  Severity severity = Severity::kWarning;
+  std::string message;
+  std::string track;
+  std::vector<std::uint64_t> spans;  // offending span ids
+  std::int64_t at_us = 0;
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Finding::Severity s) {
+  switch (s) {
+    case Finding::Severity::kWarning: return "warning";
+    case Finding::Severity::kError: return "error";
+  }
+  return "?";
+}
+
+/// Order statistics over a latency sample set (exact, nearest-rank).
+struct LatencyStats {
+  std::size_t count = 0;
+  std::int64_t sum_us = 0;
+  std::int64_t min_us = 0;
+  std::int64_t max_us = 0;
+  std::int64_t p50_us = 0;
+  std::int64_t p90_us = 0;
+  std::int64_t p99_us = 0;
+  [[nodiscard]] double mean_us() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum_us) / static_cast<double>(count);
+  }
+};
+
+/// Build LatencyStats from raw samples (order-insensitive; sorts a copy).
+[[nodiscard]] LatencyStats make_latency_stats(std::vector<std::int64_t> samples_us);
+
+/// The analysis result over one span dump.
+class TraceAnalysis {
+ public:
+  /// Analyze a span dump (e.g. from parse_spans_jsonl).
+  explicit TraceAnalysis(std::vector<SpanRecord> spans);
+  /// Analyze a live tracer's records in place.
+  [[nodiscard]] static TraceAnalysis from_tracer(const Tracer& tracer);
+
+  [[nodiscard]] const std::vector<SpanRecord>& spans() const { return spans_; }
+  /// Reconstructed transactions, ordered by root span id.
+  [[nodiscard]] const std::vector<TransactionTrace>& transactions() const {
+    return transactions_;
+  }
+  /// Protocol-conformance findings, ordered by (time, span id).
+  [[nodiscard]] const std::vector<Finding>& findings() const { return findings_; }
+
+  /// End-to-end latency over complete transactions.
+  [[nodiscard]] const LatencyStats& e2e() const { return e2e_; }
+  /// Per-phase latency attribution over complete transactions. Only phases
+  /// that occurred appear.
+  [[nodiscard]] const std::map<Phase, LatencyStats>& phase_stats() const {
+    return phase_stats_;
+  }
+  /// End-to-end latency grouped by serving consensus instance ("group").
+  [[nodiscard]] const std::map<std::uint32_t, LatencyStats>& group_stats() const {
+    return group_stats_;
+  }
+  /// Complete transactions (denominator of the breakdown shares).
+  [[nodiscard]] std::size_t complete_count() const { return complete_count_; }
+
+ private:
+  void reconstruct_transactions();
+  void detect_anomalies();
+  void aggregate();
+
+  std::vector<SpanRecord> spans_;
+  std::vector<TransactionTrace> transactions_;
+  std::vector<Finding> findings_;
+  LatencyStats e2e_;
+  std::map<Phase, LatencyStats> phase_stats_;
+  std::map<std::uint32_t, LatencyStats> group_stats_;
+  std::size_t complete_count_ = 0;
+};
+
+}  // namespace curb::obs

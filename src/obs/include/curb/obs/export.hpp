@@ -25,6 +25,12 @@ void write_spans_jsonl(const Tracer& tracer, std::ostream& out);
 /// clamped to the latest timestamp seen and tagged args.open = "true".
 void write_chrome_trace(const Tracer& tracer, std::ostream& out);
 
+/// As above, plus one "C" (counter) event per counter/gauge series of the
+/// registry at the trace-end timestamp, so final values render as counter
+/// tracks alongside the spans. `registry` may be null.
+void write_chrome_trace(const Tracer& tracer, const MetricsRegistry* registry,
+                        std::ostream& out);
+
 /// Full registry snapshot: counters/gauges with values, histograms with
 /// count/sum/min/max/mean, interpolated p50/p90/p99, and non-empty buckets.
 void write_metrics_json(const MetricsRegistry& registry, std::ostream& out);
@@ -36,6 +42,8 @@ void write_metrics_csv(const MetricsRegistry& registry, std::ostream& out);
 /// File-path conveniences; return false when the file cannot be opened.
 bool export_spans_jsonl(const Tracer& tracer, const std::string& path);
 bool export_chrome_trace(const Tracer& tracer, const std::string& path);
+bool export_chrome_trace(const Tracer& tracer, const MetricsRegistry* registry,
+                         const std::string& path);
 bool export_metrics_json(const MetricsRegistry& registry, const std::string& path);
 bool export_metrics_csv(const MetricsRegistry& registry, const std::string& path);
 

@@ -1,0 +1,83 @@
+#pragma once
+
+// Renderers over TraceAnalysis: the phase-breakdown report, per-transaction
+// critical paths, the anomaly list, and a two-run phase-by-phase diff.
+//
+// Every JSON writer is deterministic — fixed key order, fixed float
+// formatting — so reports of byte-identical span dumps are byte-identical,
+// and two same-seed runs diff clean.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "curb/obs/analysis.hpp"
+
+namespace curb::obs {
+
+/// One LatencyStats as a JSON object (shared by the report writers and the
+/// bench results file).
+void write_latency_stats_json(const LatencyStats& stats, std::ostream& out);
+
+/// Per-phase breakdown as a JSON array ([{"phase":..,"share_pct":..,
+/// "stats":{..}}, ...]), shares relative to the end-to-end sum.
+void write_phase_breakdown_json(const TraceAnalysis& analysis, std::ostream& out);
+
+/// Human-readable summary: transaction counts, end-to-end latency, the
+/// per-phase breakdown table (abs + % of end-to-end), per-group latency,
+/// and the anomaly tally.
+void write_report_text(const TraceAnalysis& analysis, std::ostream& out);
+
+/// Machine-readable equivalent of write_report_text.
+void write_report_json(const TraceAnalysis& analysis, std::ostream& out);
+
+/// Per-transaction critical paths, slowest first. `limit` caps the number of
+/// transactions shown (0 = all).
+void write_critical_path_text(const TraceAnalysis& analysis, std::ostream& out,
+                              std::size_t limit = 5);
+void write_critical_path_json(const TraceAnalysis& analysis, std::ostream& out,
+                              std::size_t limit = 0);
+
+/// Protocol-conformance findings.
+void write_anomalies_text(const TraceAnalysis& analysis, std::ostream& out);
+void write_anomalies_json(const TraceAnalysis& analysis, std::ostream& out);
+
+/// Phase-by-phase comparison of two runs.
+struct DiffOptions {
+  /// A phase regresses when its candidate p50 exceeds baseline p50 by more
+  /// than threshold_pct percent AND more than floor_us microseconds (the
+  /// floor suppresses noise on sub-millisecond phases).
+  double threshold_pct = 10.0;
+  std::int64_t floor_us = 100;
+};
+
+struct DiffEntry {
+  std::string metric;  // "e2e" or a phase name
+  bool in_baseline = false;
+  bool in_candidate = false;
+  std::int64_t base_p50_us = 0;
+  std::int64_t cand_p50_us = 0;
+  double base_mean_us = 0.0;
+  double cand_mean_us = 0.0;
+  double delta_pct = 0.0;  // p50 change, percent (0 when baseline p50 is 0)
+  bool regression = false;
+};
+
+struct DiffResult {
+  std::vector<DiffEntry> entries;  // "e2e" first, then phases in protocol order
+  std::size_t base_complete = 0;
+  std::size_t cand_complete = 0;
+  std::size_t base_anomalies = 0;
+  std::size_t cand_anomalies = 0;
+  [[nodiscard]] std::size_t regressions() const;
+};
+
+[[nodiscard]] DiffResult diff_analyses(const TraceAnalysis& baseline,
+                                       const TraceAnalysis& candidate,
+                                       const DiffOptions& options = {});
+
+void write_diff_text(const DiffResult& diff, std::ostream& out);
+void write_diff_json(const DiffResult& diff, std::ostream& out);
+
+}  // namespace curb::obs

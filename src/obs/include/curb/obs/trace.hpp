@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -69,7 +70,11 @@ class Tracer {
   /// Keyed spans stitch one logical protocol stage across components: the
   /// first begin_keyed for a key opens the span, later ones are ignored
   /// (e.g. every group member reaching intra-group commit reports the same
-  /// AGREE stage). Returns true when this call opened the span.
+  /// AGREE stage). A key is single-use: once end_keyed closes it, later
+  /// begin_keyed calls for the same key are also ignored — a straggler
+  /// reaching the stage after the quorum already closed it must not re-open
+  /// the stage as a phantom never-ending span. Returns true when this call
+  /// opened the span.
   bool begin_keyed(std::uint64_t key, std::string_view name, std::string_view track,
                    Attrs attrs = {});
   /// Close the span opened for `key`, if any. Returns true when closed now.
@@ -96,6 +101,7 @@ class Tracer {
   /// track index -> stack of open span ids (innermost last).
   std::vector<std::vector<std::uint64_t>> open_stacks_;
   std::map<std::uint64_t, std::uint64_t> keyed_open_;  // key -> span id
+  std::set<std::uint64_t> keyed_closed_;               // single-use key tombstones
 };
 
 /// RAII helper for synchronous sections (exporter timing, solver calls).

@@ -58,7 +58,7 @@ void Tracer::end(SpanId id) {
 
 bool Tracer::begin_keyed(std::uint64_t key, std::string_view name,
                          std::string_view track, Attrs attrs) {
-  if (!enabled_ || keyed_open_.contains(key)) return false;
+  if (!enabled_ || keyed_open_.contains(key) || keyed_closed_.contains(key)) return false;
   // Keyed spans stitch one logical stage across components on a shared rail;
   // stack nesting under whatever else is open there would be meaningless, so
   // they are always roots.
@@ -73,6 +73,7 @@ bool Tracer::end_keyed(std::uint64_t key) {
   if (it == keyed_open_.end()) return false;
   end(SpanId{it->second});
   keyed_open_.erase(it);
+  keyed_closed_.insert(key);
   return true;
 }
 
@@ -93,6 +94,7 @@ void Tracer::clear() {
   track_ids_.clear();
   open_stacks_.clear();
   keyed_open_.clear();
+  keyed_closed_.clear();
 }
 
 }  // namespace curb::obs

@@ -248,8 +248,12 @@ TEST(Tracer, KeyedSpanFirstOpenerWins) {
   EXPECT_EQ(f.tracer.spans().size(), 1u);
   EXPECT_TRUE(f.tracer.end_keyed(7));
   EXPECT_FALSE(f.tracer.end_keyed(7));  // already closed
-  // The key is free again after close.
-  EXPECT_TRUE(f.tracer.begin_keyed(7, "agree", "protocol"));
+  // Keys are single-use: a straggler reaching the stage after the quorum
+  // closed it must not re-open the stage as a phantom span.
+  EXPECT_FALSE(f.tracer.begin_keyed(7, "agree", "protocol"));
+  EXPECT_EQ(f.tracer.spans().size(), 1u);
+  // A different key is unaffected.
+  EXPECT_TRUE(f.tracer.begin_keyed(8, "agree", "protocol"));
   EXPECT_EQ(f.tracer.spans().size(), 2u);
 }
 

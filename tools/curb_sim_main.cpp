@@ -18,6 +18,8 @@
 //     --trace-jsonl FILE            (span dump, one JSON object per line)
 //     --metrics-out FILE            (metrics registry snapshot, JSON)
 //     --metrics-csv FILE            (metrics registry snapshot, CSV)
+//     --phase-report                (per-phase latency breakdown after the run;
+//                                    implies tracing, see curb-trace for more)
 //
 // Example: curb-sim --engine hotstuff --rounds 10 --load 3 --csv
 // Example: curb-sim --rounds 5 --trace t.json --metrics-out m.json
@@ -28,7 +30,11 @@
 #include <string>
 
 #include "curb/core/simulation.hpp"
+#include "curb/obs/analysis.hpp"
 #include "curb/obs/export.hpp"
+#include "curb/obs/report.hpp"
+
+#include <iostream>
 
 namespace {
 
@@ -51,9 +57,10 @@ struct CliOptions {
   std::string trace_jsonl_file;
   std::string metrics_json_file;
   std::string metrics_csv_file;
+  bool phase_report = false;
 
   [[nodiscard]] bool observability() const {
-    return !trace_file.empty() || !trace_jsonl_file.empty() ||
+    return phase_report || !trace_file.empty() || !trace_jsonl_file.empty() ||
            !metrics_json_file.empty() || !metrics_csv_file.empty();
   }
 };
@@ -65,7 +72,7 @@ struct CliOptions {
                "          [--rounds R] [--load L] [--parallel 0|1] [--capacity C]\n"
                "          [--dcs MS] [--overhead MS] [--reassign] [--csv]\n"
                "          [--trace FILE] [--trace-jsonl FILE]\n"
-               "          [--metrics-out FILE] [--metrics-csv FILE]\n",
+               "          [--metrics-out FILE] [--metrics-csv FILE] [--phase-report]\n",
                argv0);
   std::exit(2);
 }
@@ -96,6 +103,7 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--trace-jsonl") opts.trace_jsonl_file = value();
     else if (arg == "--metrics-out") opts.metrics_json_file = value();
     else if (arg == "--metrics-csv") opts.metrics_csv_file = value();
+    else if (arg == "--phase-report") opts.phase_report = true;
     else usage(argv[0]);
   }
   return opts;
@@ -172,7 +180,7 @@ int main(int argc, char** argv) {
       }
     };
     if (!cli.trace_file.empty()) {
-      check(curb::obs::export_chrome_trace(obsy->tracer, cli.trace_file),
+      check(curb::obs::export_chrome_trace(obsy->tracer, &obsy->metrics, cli.trace_file),
             cli.trace_file);
     }
     if (!cli.trace_jsonl_file.empty()) {
@@ -186,6 +194,11 @@ int main(int argc, char** argv) {
     if (!cli.metrics_csv_file.empty()) {
       check(curb::obs::export_metrics_csv(obsy->metrics, cli.metrics_csv_file),
             cli.metrics_csv_file);
+    }
+    if (cli.phase_report) {
+      std::printf("\n");
+      curb::obs::write_report_text(curb::obs::TraceAnalysis::from_tracer(obsy->tracer),
+                                   std::cout);
     }
     if (!ok) return 1;
   }

@@ -1,0 +1,135 @@
+// curb-trace: causal protocol analytics over curb span dumps.
+//
+//   curb-trace report        <spans.jsonl> [--json]
+//   curb-trace critical-path <spans.jsonl> [--json] [--limit N]
+//   curb-trace anomalies     <spans.jsonl> [--json]
+//   curb-trace diff          <base.jsonl> <cand.jsonl> [--json]
+//                            [--threshold PCT] [--floor US]
+//
+// Input is a spans-JSONL dump (curb-sim --trace-jsonl FILE, or the
+// CURB_TRACE_JSONL env var understood by the benches). `report` prints the
+// per-phase latency breakdown, `critical-path` the slowest transactions'
+// segment walks, `anomalies` the protocol-conformance findings (exit 1 if
+// any), and `diff` a phase-by-phase comparison of two runs (exit 1 on
+// regressions).
+//
+// Example: curb-sim --rounds 5 --trace-jsonl t.jsonl && curb-trace report t.jsonl
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "curb/obs/analysis.hpp"
+#include "curb/obs/export.hpp"
+#include "curb/obs/report.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s report        <spans.jsonl> [--json]\n"
+               "       %s critical-path <spans.jsonl> [--json] [--limit N]\n"
+               "       %s anomalies     <spans.jsonl> [--json]\n"
+               "       %s diff          <base.jsonl> <cand.jsonl> [--json]\n"
+               "                        [--threshold PCT] [--floor US]\n",
+               argv0, argv0, argv0, argv0);
+  std::exit(2);
+}
+
+curb::obs::TraceAnalysis load(const char* argv0, const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open %s\n", argv0, path.c_str());
+    std::exit(2);
+  }
+  try {
+    return curb::obs::TraceAnalysis{curb::obs::parse_spans_jsonl(in)};
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s: %s\n", argv0, path.c_str(), e.what());
+    std::exit(2);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage(argv[0]);
+  const std::string command = argv[1];
+
+  std::vector<std::string> paths;
+  bool json = false;
+  std::size_t limit = 5;
+  bool limit_set = false;
+  curb::obs::DiffOptions diff_options;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--limit") {
+      limit = std::strtoull(value(), nullptr, 10);
+      limit_set = true;
+    } else if (arg == "--threshold") {
+      diff_options.threshold_pct = std::strtod(value(), nullptr);
+    } else if (arg == "--floor") {
+      diff_options.floor_us = std::strtoll(value(), nullptr, 10);
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (command == "report") {
+    if (paths.size() != 1) usage(argv[0]);
+    const curb::obs::TraceAnalysis analysis = load(argv[0], paths[0]);
+    if (json) {
+      curb::obs::write_report_json(analysis, std::cout);
+    } else {
+      curb::obs::write_report_text(analysis, std::cout);
+    }
+    return 0;
+  }
+  if (command == "critical-path") {
+    if (paths.size() != 1) usage(argv[0]);
+    const curb::obs::TraceAnalysis analysis = load(argv[0], paths[0]);
+    if (json) {
+      // JSON consumers get every transaction unless explicitly capped.
+      curb::obs::write_critical_path_json(analysis, std::cout, limit_set ? limit : 0);
+    } else {
+      curb::obs::write_critical_path_text(analysis, std::cout, limit);
+    }
+    return 0;
+  }
+  if (command == "anomalies") {
+    if (paths.size() != 1) usage(argv[0]);
+    const curb::obs::TraceAnalysis analysis = load(argv[0], paths[0]);
+    if (json) {
+      curb::obs::write_anomalies_json(analysis, std::cout);
+    } else {
+      curb::obs::write_anomalies_text(analysis, std::cout);
+    }
+    return analysis.findings().empty() ? 0 : 1;
+  }
+  if (command == "diff") {
+    if (paths.size() != 2) usage(argv[0]);
+    const curb::obs::TraceAnalysis baseline = load(argv[0], paths[0]);
+    const curb::obs::TraceAnalysis candidate = load(argv[0], paths[1]);
+    const curb::obs::DiffResult diff =
+        curb::obs::diff_analyses(baseline, candidate, diff_options);
+    if (json) {
+      curb::obs::write_diff_json(diff, std::cout);
+    } else {
+      curb::obs::write_diff_text(diff, std::cout);
+    }
+    return diff.regressions() == 0 ? 0 : 1;
+  }
+  usage(argv[0]);
+}
