@@ -58,6 +58,19 @@ inline bool obs_enabled_from_env() {
          std::getenv("CURB_BENCH_OUT") != nullptr;
 }
 
+/// Environment-driven fault injection: set CURB_FAULT to a curb::fault spec
+/// string (and optionally CURB_FAULT_SEED) to run any bench binary under a
+/// deterministic fault schedule without recompiling, e.g.
+///   CURB_FAULT='drop(p=0.05,cat=REPLY)' ./bench_pkt_in_latency
+inline void apply_fault_env(core::CurbOptions& opts) {
+  if (const char* spec = std::getenv("CURB_FAULT")) {
+    opts.fault_spec = spec;
+  }
+  if (const char* seed = std::getenv("CURB_FAULT_SEED")) {
+    opts.fault_seed = std::strtoull(seed, nullptr, 10);
+  }
+}
+
 /// Paper-calibrated options for the protocol benches: Internet2, f = 1,
 /// 500 ms timeout. The per-message overhead models the controller-side
 /// processing cost of the paper's Python/Ryu/gRPC stack (calibrated so the
@@ -79,6 +92,7 @@ inline core::CurbOptions paper_options() {
   opts.max_silent_rounds = 3;
   opts.op_time_mode = core::OpTimeMode::kMeasured;
   opts.observability = obs_enabled_from_env();
+  apply_fault_env(opts);
   return opts;
 }
 

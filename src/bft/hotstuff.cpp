@@ -77,6 +77,10 @@ void HotstuffReplica::send_to(std::uint32_t dest, PbftMessage msg) {
         msg.digest[0] ^= 0xff;  // vote for a digest nobody proposed
       }
       break;
+    case Behavior::kSelectiveSilent:
+      if (dest % 2 == 0) return;  // withhold from even-indexed peers only
+      break;
+    case Behavior::kStaleViewSpam:  // spam happens at the controller layer
     case Behavior::kHonest:
       break;
   }

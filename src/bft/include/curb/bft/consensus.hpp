@@ -22,7 +22,20 @@ namespace curb::bft {
 ///    paper's experiment 3 nodes with response times in (200, 500) ms).
 ///  - kEquivocate: as leader, proposes conflicting payloads to different
 ///    peers; as follower, votes for a corrupted digest.
-enum class Behavior : std::uint8_t { kHonest, kSilent, kLazy, kEquivocate };
+///  - kSelectiveSilent: withholds messages from even-indexed peers only —
+///    enough honest pairs still talk for the protocol to make progress,
+///    but naive "is it silent?" detectors see conflicting evidence.
+///  - kStaleViewSpam: participates honestly but floods peers with
+///    view-change votes for views far ahead of the current one, probing
+///    the view-change vote bookkeeping (curb::fault).
+enum class Behavior : std::uint8_t {
+  kHonest,
+  kSilent,
+  kLazy,
+  kEquivocate,
+  kSelectiveSilent,
+  kStaleViewSpam,
+};
 
 /// Which BFT engine a consensus instance runs. The paper uses PBFT ("other
 /// BFT protocols including Tendermint and HotStuff can also be applied");

@@ -56,6 +56,15 @@ class PbftReplica final : public ConsensusReplica {
   [[nodiscard]] std::uint64_t next_execute() const override { return next_exec_; }
   [[nodiscard]] std::uint64_t executed_count() const { return next_exec_ - 1; }
 
+  /// Candidate views with outstanding view-change votes (all > view() —
+  /// adopt_new_view prunes everything at or below the installed view).
+  [[nodiscard]] std::vector<std::uint64_t> pending_view_change_views() const {
+    std::vector<std::uint64_t> views;
+    views.reserve(view_change_votes_.size());
+    for (const auto& [v, votes] : view_change_votes_) views.push_back(v);
+    return views;
+  }
+
   void set_behavior(Behavior b) override { config_.behavior = b; }
   [[nodiscard]] Behavior behavior() const override { return config_.behavior; }
   void set_on_view_change(ViewChangeFn fn) override { on_view_change_ = std::move(fn); }

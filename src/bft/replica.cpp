@@ -91,6 +91,10 @@ void PbftReplica::send_to(std::uint32_t dest, PbftMessage msg) {
         msg.digest[0] ^= 0xff;  // vote for a digest nobody proposed
       }
       break;
+    case Behavior::kSelectiveSilent:
+      if (dest % 2 == 0) return;  // withhold from even-indexed peers only
+      break;
+    case Behavior::kStaleViewSpam:  // spam happens at the controller layer
     case Behavior::kHonest:
       break;
   }
@@ -216,6 +220,10 @@ void PbftReplica::try_execute() {
 
 void PbftReplica::arm_timeout(std::uint64_t sequence) {
   auto& s = slot(sequence);
+  // A slot can be re-armed (e.g. re-proposed after a view change); the old
+  // timer must die with the old round or it fires against the new one and
+  // triggers a spurious view change.
+  sim_.cancel(s.timeout);
   s.timeout = sim_.schedule(config_.view_change_timeout, [this, sequence] {
     const auto it = slots_.find(sequence);
     if (it == slots_.end() || it->second.committed) return;
@@ -303,6 +311,10 @@ void PbftReplica::adopt_new_view(std::uint64_t new_view,
                                  const std::vector<PbftMessage::PreparedEntry>& prepared) {
   view_ = new_view;
   view_change_in_progress_ = false;
+  // Votes for the adopted view and everything below are settled; keeping
+  // them would let stale (or spammed) view-change votes accumulate forever.
+  view_change_votes_.erase(view_change_votes_.begin(),
+                           view_change_votes_.upper_bound(new_view));
   obs_view_installed(new_view);
   // Reset per-slot voting state for unexecuted slots; re-run consensus on
   // the carried-over prepared entries in the new view.

@@ -180,13 +180,14 @@ void Controller::rebuild_replicas() {
     }
   }
   if (!member_now) {
-    final_replica_.reset();
+    retire_final_replica();
     final_committee_cache_.clear();
     agree_votes_.clear();
     agree_buffered_.clear();
     block_buffer_.clear();
     final_proposal_in_flight_ = false;
   } else if (committee_changed) {
+    retire_final_replica();
     bft::ReplicaConfig cfg;
     cfg.replica_index = *state_.final_replica_index(id_);
     cfg.group_size = committee.size();
@@ -230,6 +231,19 @@ void Controller::rebuild_replicas() {
   }
 }
 
+void Controller::retire_final_replica() {
+  if (final_replica_ == nullptr) return;
+  // The committee change that retires this replica is often COMMITTED BY this
+  // replica: rebuild_replicas() runs inside its deliver_ callback, with its
+  // try_execute() frame still on the stack. Destroying it here is a
+  // use-after-free, so park it on the event queue and let it die only after
+  // the stack unwinds (same lifetime discipline as retired_replicas_).
+  network_.simulator().schedule(
+      sim::SimTime::zero(),
+      [doomed = std::shared_ptr<bft::ConsensusReplica>(std::move(final_replica_))] {});
+  final_replica_ = nullptr;
+}
+
 void Controller::set_behavior(bft::Behavior behavior) { behavior_ = behavior; }
 
 void Controller::set_lazy_range(sim::SimTime lo, sim::SimTime hi) {
@@ -237,7 +251,109 @@ void Controller::set_lazy_range(sim::SimTime lo, sim::SimTime hi) {
   lazy_max_ = hi;
 }
 
+void Controller::set_replica_behavior(bft::Behavior behavior) {
+  for (auto& [instance, replica] : replicas_) replica->set_behavior(behavior);
+  for (auto& [instance, replica] : retired_replicas_) replica->set_behavior(behavior);
+  if (final_replica_ != nullptr) final_replica_->set_behavior(behavior);
+}
+
+void Controller::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  trace(network_.simulator(), id_, "CRASH");
+  // Drop every piece of volatile state. Timers already in the simulator
+  // queue fire against the cleared maps and no-op; the explicit handles we
+  // hold are cancelled so they cannot re-arm anything.
+  auto& sim = network_.simulator();
+  for (auto& [instance, handle] : request_buffer_timer_) sim.cancel(handle);
+  request_buffer_timer_.clear();
+  for (auto& [instance, handle] : reass_window_timer_) sim.cancel(handle);
+  reass_window_timer_.clear();
+  if (block_buffer_timer_armed_) {
+    sim.cancel(block_buffer_timer_);
+    block_buffer_timer_armed_ = false;
+  }
+  replicas_.clear();
+  retired_replicas_.clear();
+  final_replica_.reset();
+  final_committee_cache_.clear();
+  known_instances_.clear();
+  blockchain_.reset();
+  request_buffer_.clear();
+  reass_window_.clear();
+  handled_requests_.clear();
+  committed_requests_.clear();
+  pending_requests_.clear();
+  agree_votes_.clear();
+  agree_buffered_.clear();
+  block_buffer_.clear();
+  ever_committee_.clear();
+  orphan_agrees_.clear();
+  final_proposal_in_flight_ = false;
+  final_agree_votes_.clear();
+  final_agree_payload_.clear();
+  applied_blocks_.clear();
+  outstanding_tx_.clear();
+  policy_table_ = {};
+  // A restarted process comes back honest; whatever misbehaviour was
+  // injected died with it.
+  behavior_ = bft::Behavior::kHonest;
+  bad_config_ = false;
+}
+
+void Controller::restart_from(const chain::Blockchain& donor) {
+  if (!crashed_) return;
+  crashed_ = false;
+  trace(network_.simulator(), id_,
+        "RESTART from donor chain height=" + std::to_string(donor.height()));
+  // Cold start from the replicated ledger (the paper's trust anchor): the
+  // genesis block carries the Step-0 assignment, every later block carries
+  // the committed requests and reassignments. Replaying them rebuilds the
+  // assignment view, the served-request set, and the policy table without
+  // trusting any single peer beyond the chain's own hash links.
+  blockchain_ = std::make_unique<chain::Blockchain>(donor.genesis());
+  blockchain_->set_observatory(network_.observatory(), "ctrl-" + std::to_string(id_));
+  state_ = network_.genesis_state();
+  for (const GroupInfo& g : state_.groups()) {
+    known_instances_[AssignmentState::instance_id_of(g.members)] = g.members;
+  }
+  for (std::uint64_t h = 1; h <= donor.height(); ++h) {
+    const chain::Block& block = donor.at(h);
+    if (blockchain_->append(block)) break;  // donor chain broken: stop here
+    applied_blocks_.insert(block.hash());
+    for (const chain::Transaction& tx : block.transactions()) {
+      committed_requests_.insert({tx.switch_id(), tx.request_id()});
+      if (tx.type() == chain::RequestType::kReassign) {
+        AssignmentState next;
+        try {
+          next = AssignmentState::deserialize(tx.config());
+        } catch (const std::exception&) {
+          continue;
+        }
+        for (const GroupInfo& g : next.groups()) {
+          known_instances_[AssignmentState::instance_id_of(g.members)] = g.members;
+        }
+        if (next.epoch() <= state_.epoch()) continue;
+        const auto& cur_byz = state_.byzantine();
+        const auto& new_byz = next.byzantine();
+        const bool monotone = std::all_of(
+            cur_byz.begin(), cur_byz.end(), [&new_byz](std::uint32_t b) {
+              return std::binary_search(new_byz.begin(), new_byz.end(), b);
+            });
+        if (monotone) state_ = next;
+      } else if (tx.type() == chain::RequestType::kPolicyUpdate) {
+        apply_policy_update(tx);
+      }
+    }
+  }
+  rebuild_replicas();
+  if (obs::Observatory* obsy = network_.observatory(); obsy != nullptr) {
+    obsy->metrics.counter("core.controller_restarts").inc();
+  }
+}
+
 void Controller::send(net::NodeId dest, CurbMessage msg) {
+  if (crashed_) return;
   switch (behavior_) {
     case bft::Behavior::kSilent:
       return;  // byzantine: withhold everything
@@ -252,6 +368,23 @@ void Controller::send(net::NodeId dest, CurbMessage msg) {
           });
       return;
     }
+    case bft::Behavior::kSelectiveSilent:
+      if (dest.value % 2 == 0) return;  // withhold from even-numbered nodes
+      break;
+    case bft::Behavior::kStaleViewSpam:
+      // Participate honestly, but ride every PBFT send with a view-change
+      // vote for a view far ahead of the current one — ammunition against
+      // unbounded view_change_votes_ bookkeeping (curb::fault).
+      if (const auto* env = std::get_if<PbftEnvelope>(&msg)) {
+        PbftEnvelope spam = *env;
+        spam.message = {};
+        spam.message.type = bft::PbftMessage::Type::kViewChange;
+        spam.message.view = env->message.view + 2 + (stale_spam_counter_++ % 8);
+        spam.message.sender = env->message.sender;
+        network_.bus().send(node_, dest, CurbMessage{spam}, spam.wire_size(),
+                            category_of(CurbMessage{spam}));
+      }
+      break;
     case bft::Behavior::kEquivocate:
     case bft::Behavior::kHonest:
       break;
@@ -273,6 +406,7 @@ bft::ConsensusReplica* Controller::replica_for(std::uint32_t instance) {
 }
 
 void Controller::on_message(net::NodeId /*from*/, const CurbMessage& msg) {
+  if (crashed_) return;  // fail-stop: a crashed controller hears nothing
   std::visit(
       [this](const auto& m) {
         using T = std::decay_t<decltype(m)>;
@@ -432,7 +566,13 @@ void Controller::handle_reassign_request(std::uint32_t instance,
   // calculating OP once).
   auto& window = reass_window_[instance];
   window.requests.push_back(request);
-  for (const std::uint32_t accused : deserialize_id_list(request.payload)) {
+  std::vector<std::uint32_t> accused_ids;
+  try {
+    accused_ids = deserialize_id_list(request.payload);
+  } catch (const std::exception&) {
+    return;  // malformed accusation payload (corrupted in flight)
+  }
+  for (const std::uint32_t accused : accused_ids) {
     if (accused < state_.assignment().num_controllers()) window.accused.push_back(accused);
   }
   if (!reass_window_timer_.contains(instance)) {
@@ -637,7 +777,13 @@ void Controller::flush_block_buffer() {
   std::vector<chain::Transaction> txs;
   std::set<crypto::Hash256> seen;
   for (const auto& [instance, tx_list] : block_buffer_) {
-    for (auto& tx : deserialize_tx_list(tx_list)) {
+    std::vector<chain::Transaction> list;
+    try {
+      list = deserialize_tx_list(tx_list);
+    } catch (const std::exception&) {
+      continue;  // malformed txList must not take the leader down
+    }
+    for (auto& tx : list) {
       const auto id = tx.id();
       if (!blockchain_->contains_transaction(id) && seen.insert(id).second) {
         txs.push_back(std::move(tx));
@@ -731,7 +877,13 @@ void Controller::apply_block(const chain::Block& block) {
   // Drop buffered txLists fully covered by the chain (every member buffers;
   // this is the non-leader's drain path).
   std::erase_if(block_buffer_, [&](const auto& entry) {
-    for (const auto& tx : deserialize_tx_list(entry.second)) {
+    std::vector<chain::Transaction> list;
+    try {
+      list = deserialize_tx_list(entry.second);
+    } catch (const std::exception&) {
+      return true;  // malformed txList: drop it from the buffer
+    }
+    for (const auto& tx : list) {
       if (!blockchain_->contains_transaction(tx.id())) return false;
     }
     return true;

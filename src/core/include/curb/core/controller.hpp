@@ -59,6 +59,20 @@ class Controller {
   /// When true, REPLY configs are corrupted (detected by s-agents as
   /// conflicting-config byzantine evidence).
   void set_bad_config(bool enabled) { bad_config_ = enabled; }
+  /// Force a behaviour onto every live consensus replica (intra + final).
+  /// set_behavior covers the controller's own traffic; this one makes the
+  /// PBFT layer itself misbehave (equivocating proposals etc.).
+  void set_replica_behavior(bft::Behavior behavior);
+
+  /// Fail-stop: drop all volatile state (replicas, buffers, quorum
+  /// tracking, chain, policy table) and ignore every message until
+  /// restart_from. Timers already scheduled become no-ops.
+  void crash();
+  /// Recover from a peer's replicated blockchain (curb::fault crash/restart
+  /// events): replay every block from genesis to rebuild the assignment
+  /// view, served-request set, and policy table, then rejoin consensus.
+  void restart_from(const chain::Blockchain& donor);
+  [[nodiscard]] bool crashed() const { return crashed_; }
 
   /// Northbound API (paper Section III-B): an application service submits
   /// a policy update through this controller. The update flows through the
@@ -112,6 +126,7 @@ class Controller {
   [[nodiscard]] bool reassignment_resolved(const chain::Transaction& tx) const;
   void rehandle_stale_reassignment(const chain::Transaction& tx);
   void rebuild_replicas();
+  void retire_final_replica();
   void send_replies_for(const chain::Transaction& tx);
 
   void apply_policy_update(const chain::Transaction& tx);
@@ -202,6 +217,9 @@ class Controller {
   sim::SimTime lazy_min_ = sim::SimTime::millis(200);
   sim::SimTime lazy_max_ = sim::SimTime::millis(500);
   bool bad_config_ = false;
+  bool crashed_ = false;
+  /// kStaleViewSpam: rotates the spammed (stale) view number.
+  std::uint64_t stale_spam_counter_ = 0;
 
   Stats stats_;
   sim::Rng rng_;

@@ -9,6 +9,7 @@
 #include "curb/crypto/sha256.hpp"
 #include "curb/sdn/flow.hpp"
 #include "curb/sdn/sagent.hpp"
+#include "curb/sim/rng.hpp"
 
 namespace curb::core {
 
@@ -84,5 +85,12 @@ using CurbMessage =
 [[nodiscard]] std::size_t wire_size(const CurbMessage& msg);
 /// Message-accounting category ("PKT-IN", "intra-pbft", "AGREE", ...).
 [[nodiscard]] std::string category_of(const CurbMessage& msg);
+
+/// Flip bytes in the message's integrity-relevant content (curb::fault
+/// corrupt clauses): payload/config/tx-list bytes, PBFT digests, group
+/// lists. The flip keeps lengths intact, so receivers see structurally
+/// parseable garbage that digest/quorum matching must reject — the same
+/// effect a failed signature check has in the real deployment.
+void corrupt_message(CurbMessage& msg, sim::Rng& rng);
 
 }  // namespace curb::core

@@ -11,6 +11,7 @@
 #include "curb/core/messages.hpp"
 #include "curb/core/options.hpp"
 #include "curb/core/switch_node.hpp"
+#include "curb/fault/injector.hpp"
 #include "curb/net/message_bus.hpp"
 #include "curb/net/topology.hpp"
 #include "curb/obs/observatory.hpp"
@@ -39,6 +40,9 @@ class CurbNetwork {
 
   /// Observability handle; nullptr unless options.observability is set.
   [[nodiscard]] obs::Observatory* observatory() { return observatory_.get(); }
+
+  /// Fault injector; nullptr unless options.fault_spec is non-empty.
+  [[nodiscard]] fault::FaultInjector* fault_injector() { return fault_injector_.get(); }
   /// Copy the simulator's built-in counters (events executed, queue
   /// high-water) into the registry. Call before exporting metrics — the sim
   /// layer sits below obs and cannot push them itself.
@@ -93,10 +97,18 @@ class CurbNetwork {
   std::vector<std::unique_ptr<Controller>> controllers_;
   std::vector<std::unique_ptr<SwitchNode>> switches_;
 
+  void install_fault_hook();
+  void schedule_node_events();
+  void record_fault(const fault::LinkFaultDecision& decision, const std::string& category);
+  /// Live controller with the tallest chain (lowest id breaks ties);
+  /// nullptr when every controller is down.
+  [[nodiscard]] Controller* pick_recovery_donor() const;
+
   AssignmentState genesis_state_;
   std::unique_ptr<chain::Block> genesis_block_;
   bool initialized_ = false;
   std::unique_ptr<obs::Observatory> observatory_;
+  std::unique_ptr<fault::FaultInjector> fault_injector_;
 };
 
 }  // namespace curb::core

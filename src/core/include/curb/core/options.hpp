@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "curb/bft/consensus.hpp"
 #include "curb/net/link_model.hpp"
@@ -104,6 +105,14 @@ struct CurbOptions {
 
   /// RNG seed for the whole deployment.
   std::uint64_t seed = 42;
+
+  /// Fault-injection plan (curb::fault spec grammar, e.g.
+  /// "drop(p=0.05,cat=REPLY);crash(node=ctrl1,at=500,down=2000)"). Empty
+  /// disables injection entirely; the bus hook is then never installed.
+  std::string fault_spec;
+  /// Seed for the fault plan's own RNG stream, independent of `seed` so the
+  /// same workload can be replayed under different fault schedules.
+  std::uint64_t fault_seed = 1;
 };
 
 }  // namespace curb::core

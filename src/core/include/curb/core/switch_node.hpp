@@ -47,6 +47,14 @@ class SwitchNode {
   [[nodiscard]] sdn::SAgent& agent() { return agent_; }
   [[nodiscard]] const sdn::SAgent& agent() const { return agent_; }
   [[nodiscard]] std::uint64_t current_epoch() const { return epoch_; }
+  /// Epochs with outstanding group-update votes (all > current_epoch() —
+  /// adopt_group prunes everything at or below the adopted epoch).
+  [[nodiscard]] std::vector<std::uint64_t> pending_group_update_epochs() const {
+    std::vector<std::uint64_t> epochs;
+    epochs.reserve(group_updates_.size());
+    for (const auto& [epoch, votes] : group_updates_) epochs.push_back(epoch);
+    return epochs;
+  }
 
   /// Per-request completion records for latency/throughput measurement.
   struct RequestRecord {

@@ -8,6 +8,47 @@ std::size_t wire_size(const CurbMessage& msg) {
   return std::visit([](const auto& m) { return m.wire_size(); }, msg);
 }
 
+void corrupt_message(CurbMessage& msg, sim::Rng& rng) {
+  const auto flip_in = [&rng](std::vector<std::uint8_t>& bytes) {
+    if (bytes.empty()) return false;
+    bytes[rng.next_below(bytes.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.next_below(255));
+    return true;
+  };
+  struct Visitor {
+    sim::Rng& rng;
+    decltype(flip_in) flip;
+    void operator()(sdn::RequestMsg& m) const {
+      if (!flip(m.payload)) m.request_id ^= 1ULL << rng.next_below(64);
+    }
+    void operator()(PbftEnvelope& m) const {
+      m.message.digest[rng.next_below(m.message.digest.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.next_below(255));
+    }
+    void operator()(AgreeMsg& m) const {
+      if (!flip(m.tx_list)) m.instance ^= 1u << rng.next_below(32);
+    }
+    void operator()(FinalAgreeMsg& m) const {
+      if (!flip(m.block)) m.sender_controller ^= 1u << rng.next_below(32);
+    }
+    void operator()(ReplyMsg& m) const {
+      if (!flip(m.config)) m.request_id ^= 1ULL << rng.next_below(64);
+    }
+    void operator()(GroupUpdateMsg& m) const {
+      if (m.new_group.empty()) {
+        m.epoch ^= 1ULL << rng.next_below(64);
+      } else {
+        m.new_group[rng.next_below(m.new_group.size())] ^=
+            1u + static_cast<std::uint32_t>(rng.next_below(255));
+      }
+    }
+    void operator()(DataPacketMsg& m) const {
+      m.packet.id ^= 1ULL << rng.next_below(64);
+    }
+  };
+  std::visit(Visitor{rng, flip_in}, msg);
+}
+
 std::string category_of(const CurbMessage& msg) {
   struct Visitor {
     std::string operator()(const sdn::RequestMsg& m) const {

@@ -23,6 +23,117 @@ CurbNetwork::CurbNetwork(net::Topology topology, CurbOptions options)
   if (switch_nodes_.empty()) {
     throw std::invalid_argument{"CurbNetwork: topology has no switches"};
   }
+  if (!options_.fault_spec.empty()) {
+    fault_injector_ = std::make_unique<fault::FaultInjector>(
+        fault::FaultPlan::parse(options_.fault_spec, options_.fault_seed), topology_);
+    install_fault_hook();
+  }
+}
+
+void CurbNetwork::install_fault_hook() {
+  bus_->set_fault_hook([this](net::NodeId from, net::NodeId to, CurbMessage& payload,
+                              const std::string& category) {
+    fault::LinkFaultDecision decision =
+        fault_injector_->on_message(from, to, category, sim_.now());
+    if (decision.corrupt && !decision.drop) {
+      corrupt_message(payload, fault_injector_->rng());
+    }
+    if (decision.any()) record_fault(decision, category);
+    net::BusFaultAction action;
+    action.drop = decision.drop;
+    action.extra_delay = decision.extra_delay;
+    action.duplicates = std::move(decision.duplicates);
+    return action;
+  });
+}
+
+void CurbNetwork::record_fault(const fault::LinkFaultDecision& decision,
+                               const std::string& category) {
+  if (observatory_ == nullptr) return;
+  for (const fault::FaultKind kind : decision.fired) {
+    const std::string kind_name{fault::to_string(kind)};
+    observatory_->metrics
+        .counter("fault.injected", {{"kind", kind_name}, {"category", category}})
+        .inc();
+    observatory_->tracer.instant("fault." + kind_name, "fault",
+                                 {{"category", category}});
+  }
+}
+
+Controller* CurbNetwork::pick_recovery_donor() const {
+  Controller* donor = nullptr;
+  for (const auto& controller : controllers_) {
+    if (controller->crashed()) continue;
+    if (donor == nullptr ||
+        controller->blockchain().height() > donor->blockchain().height()) {
+      donor = controller.get();
+    }
+  }
+  return donor;
+}
+
+void CurbNetwork::schedule_node_events() {
+  for (const fault::NodeEventClause& ev : fault_injector_->plan().node_events) {
+    if (ev.controller >= controllers_.size()) {
+      throw std::invalid_argument{"fault plan names controller ctrl" +
+                                  std::to_string(ev.controller) + ", deployment has " +
+                                  std::to_string(controllers_.size())};
+    }
+    if (ev.kind == fault::NodeEventClause::Kind::kCrash) {
+      sim_.schedule_at(ev.at, [this, ev] {
+        controllers_[ev.controller]->crash();
+        if (observatory_ != nullptr) {
+          observatory_->metrics.counter("fault.injected", {{"kind", "crash"}}).inc();
+          observatory_->tracer.instant(
+              "fault.crash", "fault", {{"controller", std::to_string(ev.controller)}});
+        }
+        if (!ev.down) return;  // never restarts
+        sim_.schedule(*ev.down, [this, id = ev.controller] {
+          Controller* donor = pick_recovery_donor();
+          if (donor == nullptr) return;  // nobody alive to recover from
+          controllers_[id]->restart_from(donor->blockchain());
+          if (observatory_ != nullptr) {
+            observatory_->tracer.instant(
+                "fault.restart", "fault",
+                {{"controller", std::to_string(id)},
+                 {"donor", std::to_string(donor->id())}});
+          }
+        });
+      });
+    } else {
+      sim_.schedule_at(ev.at, [this, ev] {
+        Controller& controller = *controllers_[ev.controller];
+        switch (ev.mode) {
+          case fault::ByzMode::kSilent:
+            controller.set_behavior(bft::Behavior::kSilent);
+            break;
+          case fault::ByzMode::kLazy:
+            controller.set_behavior(bft::Behavior::kLazy);
+            break;
+          case fault::ByzMode::kEquivocate:
+            controller.set_behavior(bft::Behavior::kEquivocate);
+            controller.set_replica_behavior(bft::Behavior::kEquivocate);
+            break;
+          case fault::ByzMode::kSelectiveSilent:
+            controller.set_behavior(bft::Behavior::kSelectiveSilent);
+            break;
+          case fault::ByzMode::kStaleView:
+            controller.set_behavior(bft::Behavior::kStaleViewSpam);
+            break;
+          case fault::ByzMode::kBogusReply:
+            controller.set_bad_config(true);
+            break;
+        }
+        if (observatory_ != nullptr) {
+          const std::string mode_name{fault::to_string(ev.mode)};
+          observatory_->metrics.counter("fault.injected", {{"kind", "byz"}}).inc();
+          observatory_->tracer.instant(
+              "fault.byz", "fault",
+              {{"controller", std::to_string(ev.controller)}, {"mode", mode_name}});
+        }
+      });
+    }
+  }
 }
 
 net::NodeId CurbNetwork::controller_topo_node(std::uint32_t id) const {
@@ -193,6 +304,7 @@ void CurbNetwork::initialize() {
     bus_->attach(switch_nodes_[id],
                  [s](net::NodeId from, const CurbMessage& msg) { s->on_message(from, msg); });
   }
+  if (fault_injector_ != nullptr) schedule_node_events();
   initialized_ = true;
 }
 

@@ -140,6 +140,24 @@ bool CurbSimulation::chains_consistent() const {
   return true;
 }
 
+bool CurbSimulation::chains_prefix_consistent() const {
+  const chain::Blockchain* reference = nullptr;
+  for (std::uint32_t c = 0; c < network_->num_controllers(); ++c) {
+    const Controller& ctrl = network_->controller(c);
+    if (ctrl.crashed() || !ctrl.has_blockchain()) continue;
+    if (reference == nullptr) {
+      reference = &ctrl.blockchain();
+      continue;
+    }
+    const std::uint64_t common =
+        std::min(reference->height(), ctrl.blockchain().height());
+    if (ctrl.blockchain().at(common).hash() != reference->at(common).hash()) {
+      return false;
+    }
+  }
+  return true;
+}
+
 std::uint64_t CurbSimulation::chain_height() const {
   return network_->controller(0).blockchain().height();
 }

@@ -211,10 +211,13 @@ void SwitchNode::adopt_group(const std::vector<std::uint32_t>& group, std::uint6
   if (group.empty()) return;
   // The leader hint: Curb fixes leaders via [C2.6]; switches learn it as
   // the lowest id by default (refined lazily — the agent only uses it for
-  // blame attribution on total silence).
-  agent_.set_controller_group(group, group.front());
+  // blame attribution on total silence). The group vector is not sorted on
+  // the wire, so "lowest id" needs min_element, not front().
+  agent_.set_controller_group(group, *std::min_element(group.begin(), group.end()));
   epoch_ = std::max(epoch_, epoch);
-  group_updates_.erase(epoch_);
+  // Every pending vote set at or below the adopted epoch is obsolete; a
+  // skipped epoch's votes would otherwise linger for the whole run.
+  group_updates_.erase(group_updates_.begin(), group_updates_.upper_bound(epoch_));
 }
 
 }  // namespace curb::core

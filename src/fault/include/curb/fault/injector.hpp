@@ -1,0 +1,69 @@
+#pragma once
+
+// Message-layer fault decision engine. The injector owns the plan's single
+// RNG stream: because the discrete-event simulation presents messages in a
+// deterministic order, consuming draws in clause order per message keeps the
+// entire fault schedule a pure function of (seed, spec).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "curb/fault/spec.hpp"
+#include "curb/net/topology.hpp"
+#include "curb/sim/rng.hpp"
+#include "curb/sim/time.hpp"
+
+namespace curb::fault {
+
+/// The combined fate of one message after every matching clause fired.
+struct LinkFaultDecision {
+  bool drop = false;
+  /// Caller must corrupt the payload bytes (the injector is payload-
+  /// agnostic); draw from rng() to stay on the deterministic stream.
+  bool corrupt = false;
+  sim::SimTime extra_delay = sim::SimTime::zero();
+  /// Delivery offsets (relative to the original delivery) for extra copies.
+  std::vector<sim::SimTime> duplicates;
+  /// Fault kinds that fired on this message, in clause order (observability).
+  std::vector<FaultKind> fired;
+
+  [[nodiscard]] bool any() const { return !fired.empty(); }
+};
+
+class FaultInjector {
+ public:
+  /// Resolves topology nodes to (kind, per-kind ordinal) once; controller
+  /// ordinal k maps to the k-th NodeKind::kController node, matching
+  /// CurbNetwork's controller ids (same for switches).
+  FaultInjector(FaultPlan plan, const net::Topology& topology);
+
+  /// Decide the fate of one message about to be sent at virtual time `now`.
+  [[nodiscard]] LinkFaultDecision on_message(net::NodeId from, net::NodeId to,
+                                             const std::string& category,
+                                             sim::SimTime now);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  /// The plan's RNG stream; callers use it for payload corruption so every
+  /// draw stays on the one deterministic stream.
+  [[nodiscard]] sim::Rng& rng() { return rng_; }
+  /// Messages affected so far, per fault kind.
+  [[nodiscard]] const std::map<FaultKind, std::uint64_t>& fired_counts() const {
+    return fired_counts_;
+  }
+
+ private:
+  struct NodeRef {
+    SelectorKind kind = SelectorKind::kAny;  // kAny: host or unknown node
+    std::uint32_t ordinal = 0;
+  };
+  [[nodiscard]] NodeRef resolve(net::NodeId node) const;
+
+  FaultPlan plan_;
+  sim::Rng rng_;
+  std::vector<NodeRef> node_refs_;  // indexed by NodeId::value
+  std::map<FaultKind, std::uint64_t> fired_counts_;
+};
+
+}  // namespace curb::fault

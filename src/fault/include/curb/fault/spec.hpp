@@ -1,0 +1,166 @@
+#pragma once
+
+// Deterministic fault-injection plans (curb::fault).
+//
+// A FaultPlan is fully described by (seed, spec string): parsing is pure,
+// and the injector consumes randomness from one seeded stream in the
+// deterministic order the simulation presents messages, so the same
+// (seed, spec) pair reproduces the exact same fault schedule — byte-for-byte
+// identical traces — on every run and toolchain (DESIGN.md §10).
+//
+// Spec grammar (whitespace-insensitive):
+//
+//   spec    := clause (';' clause)*
+//   clause  := kind '(' [key '=' value (',' key '=' value)*] ')'
+//   kind    := drop | delay | dup | corrupt | partition | crash | byz
+//
+// Link-fault clauses (drop/delay/dup/corrupt/partition) select messages by
+// probability `p`, bus category `cat`, endpoint selectors `src`/`dst`
+// (partition: `a`/`b`, bidirectional), and a [from, until) window in virtual
+// milliseconds. Node-event clauses (crash/byz) name a controller by ordinal
+// and a trigger time `at`; `crash` takes a `down` duration after which the
+// controller restarts and recovers from a live peer's blockchain, and `byz`
+// takes a `mode` (silent | lazy | equivocate | selective-silent |
+// stale-view | bogus-reply).
+//
+// Examples:
+//   drop(p=0.05,cat=REPLY)
+//   delay(p=0.3,min=20,max=120,src=ctrl1)
+//   dup(cat=GROUP-UPDATE,copies=2)
+//   corrupt(p=0.1,cat=intra-pbft)
+//   partition(a=ctrl2,b=*,from=1000,until=3000)
+//   crash(node=ctrl1,at=500,down=2000)
+//   byz(node=ctrl3,mode=stale-view,at=0)
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "curb/sim/time.hpp"
+
+namespace curb::fault {
+
+/// Spec-string parse failure; the message names the offending clause/key.
+struct SpecError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// What a selector may match: any node, any controller, any switch.
+enum class SelectorKind : std::uint8_t { kAny, kController, kSwitch };
+
+/// Endpoint selector: "*" (any node), "ctrl" (any controller), "sw" (any
+/// switch), "ctrl<N>" / "sw<N>" (one node by per-kind ordinal).
+struct NodeSelector {
+  SelectorKind kind = SelectorKind::kAny;
+  std::optional<std::uint32_t> ordinal;
+
+  [[nodiscard]] bool matches(SelectorKind node_kind, std::uint32_t node_ordinal) const {
+    if (kind == SelectorKind::kAny) return true;
+    if (node_kind != kind) return false;
+    return !ordinal || *ordinal == node_ordinal;
+  }
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] static NodeSelector parse(std::string_view text);  // throws SpecError
+};
+
+/// Half-open activity window [from, until) on the virtual clock; a missing
+/// `until` means "for the rest of the run".
+struct TimeWindow {
+  sim::SimTime from = sim::SimTime::zero();
+  std::optional<sim::SimTime> until;
+
+  [[nodiscard]] bool contains(sim::SimTime t) const {
+    return t >= from && (!until || t < *until);
+  }
+};
+
+/// Message-layer fault classes.
+enum class FaultKind : std::uint8_t { kDrop, kDelay, kDuplicate, kCorrupt, kPartition };
+
+[[nodiscard]] constexpr std::string_view to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kDuplicate: return "dup";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kPartition: return "partition";
+  }
+  return "?";
+}
+
+/// One message-layer fault clause.
+struct LinkFaultClause {
+  FaultKind kind = FaultKind::kDrop;
+  double probability = 1.0;
+  /// Bus category filter; "*" matches every category.
+  std::string category = "*";
+  /// drop/delay/dup/corrupt: directed (src -> dst). partition: the two
+  /// sides, matched in both directions.
+  NodeSelector src;
+  NodeSelector dst;
+  TimeWindow window;
+  /// delay: jitter bounds; dup: delivery offset bounds for the extra copies.
+  sim::SimTime delay_min = sim::SimTime::zero();
+  sim::SimTime delay_max = sim::SimTime::millis(50);
+  /// dup: extra copies per matched message.
+  std::size_t copies = 1;
+
+  [[nodiscard]] bool matches_category(const std::string& cat) const {
+    return category == "*" || category == cat;
+  }
+};
+
+/// Byzantine behaviour a `byz` clause switches a controller into.
+enum class ByzMode : std::uint8_t {
+  kSilent,
+  kLazy,
+  kEquivocate,
+  kSelectiveSilent,
+  kStaleView,
+  kBogusReply,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ByzMode m) {
+  switch (m) {
+    case ByzMode::kSilent: return "silent";
+    case ByzMode::kLazy: return "lazy";
+    case ByzMode::kEquivocate: return "equivocate";
+    case ByzMode::kSelectiveSilent: return "selective-silent";
+    case ByzMode::kStaleView: return "stale-view";
+    case ByzMode::kBogusReply: return "bogus-reply";
+  }
+  return "?";
+}
+
+/// One controller-level event: a crash (+ scheduled restart) or a switch
+/// into a byzantine behaviour.
+struct NodeEventClause {
+  enum class Kind : std::uint8_t { kCrash, kByzantine };
+  Kind kind = Kind::kCrash;
+  std::uint32_t controller = 0;
+  sim::SimTime at = sim::SimTime::zero();
+  /// kCrash: downtime before recovery; nullopt = never restarts.
+  std::optional<sim::SimTime> down = sim::SimTime::millis(1000);
+  /// kByzantine only.
+  ByzMode mode = ByzMode::kSilent;
+};
+
+/// A parsed, reproducible fault schedule.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<LinkFaultClause> link_faults;
+  std::vector<NodeEventClause> node_events;
+
+  [[nodiscard]] bool empty() const {
+    return link_faults.empty() && node_events.empty();
+  }
+  /// Normalized spec string: parse(canonical(), seed) round-trips.
+  [[nodiscard]] std::string canonical() const;
+  /// Parse a spec string. Throws SpecError on malformed input.
+  [[nodiscard]] static FaultPlan parse(std::string_view spec, std::uint64_t seed = 1);
+};
+
+}  // namespace curb::fault

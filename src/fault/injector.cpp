@@ -1,0 +1,79 @@
+#include "curb/fault/injector.hpp"
+
+namespace curb::fault {
+
+FaultInjector::FaultInjector(FaultPlan plan, const net::Topology& topology)
+    : plan_{std::move(plan)}, rng_{plan_.seed ^ 0xFA017C0DEULL} {
+  node_refs_.resize(topology.node_count());
+  std::uint32_t ctrl_ordinal = 0;
+  for (const net::NodeId node : topology.nodes_of_kind(net::NodeKind::kController)) {
+    node_refs_[node.value] = {SelectorKind::kController, ctrl_ordinal++};
+  }
+  std::uint32_t sw_ordinal = 0;
+  for (const net::NodeId node : topology.nodes_of_kind(net::NodeKind::kSwitch)) {
+    node_refs_[node.value] = {SelectorKind::kSwitch, sw_ordinal++};
+  }
+}
+
+FaultInjector::NodeRef FaultInjector::resolve(net::NodeId node) const {
+  if (node.value >= node_refs_.size()) return {};
+  return node_refs_[node.value];
+}
+
+LinkFaultDecision FaultInjector::on_message(net::NodeId from, net::NodeId to,
+                                            const std::string& category,
+                                            sim::SimTime now) {
+  LinkFaultDecision decision;
+  const NodeRef src = resolve(from);
+  const NodeRef dst = resolve(to);
+
+  for (const LinkFaultClause& clause : plan_.link_faults) {
+    if (!clause.window.contains(now)) continue;
+
+    if (clause.kind == FaultKind::kPartition) {
+      // Bidirectional: the partition severs (a -> b) and (b -> a).
+      const bool forward = clause.src.matches(src.kind, src.ordinal) &&
+                           clause.dst.matches(dst.kind, dst.ordinal);
+      const bool backward = clause.src.matches(dst.kind, dst.ordinal) &&
+                            clause.dst.matches(src.kind, src.ordinal);
+      if (!forward && !backward) continue;
+      decision.drop = true;
+      decision.fired.push_back(FaultKind::kPartition);
+      ++fired_counts_[FaultKind::kPartition];
+      continue;
+    }
+
+    if (!clause.matches_category(category)) continue;
+    if (!clause.src.matches(src.kind, src.ordinal)) continue;
+    if (!clause.dst.matches(dst.kind, dst.ordinal)) continue;
+    // One probability draw per matched clause keeps the stream aligned with
+    // the deterministic message order regardless of the outcome.
+    if (clause.probability < 1.0 && !rng_.next_bool(clause.probability)) continue;
+
+    decision.fired.push_back(clause.kind);
+    ++fired_counts_[clause.kind];
+    switch (clause.kind) {
+      case FaultKind::kDrop:
+        decision.drop = true;
+        break;
+      case FaultKind::kDelay:
+        decision.extra_delay += sim::SimTime::micros(
+            rng_.next_in(clause.delay_min.as_micros(), clause.delay_max.as_micros()));
+        break;
+      case FaultKind::kDuplicate:
+        for (std::size_t i = 0; i < clause.copies; ++i) {
+          decision.duplicates.push_back(sim::SimTime::micros(
+              rng_.next_in(clause.delay_min.as_micros(), clause.delay_max.as_micros())));
+        }
+        break;
+      case FaultKind::kCorrupt:
+        decision.corrupt = true;
+        break;
+      case FaultKind::kPartition:
+        break;  // handled above
+    }
+  }
+  return decision;
+}
+
+}  // namespace curb::fault

@@ -1,0 +1,347 @@
+#include "curb/fault/spec.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <map>
+
+namespace curb::fault {
+
+namespace {
+
+std::string strip(std::string_view text) {
+  std::string out;
+  for (const char c : text) {
+    if (!std::isspace(static_cast<unsigned char>(c))) out.push_back(c);
+  }
+  return out;
+}
+
+double parse_number(std::string_view text, const std::string& context) {
+  double value = 0.0;
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw SpecError{"fault spec: bad number '" + std::string{text} + "' in " + context};
+  }
+  return value;
+}
+
+std::uint32_t parse_ordinal(std::string_view text, const std::string& context) {
+  std::uint32_t value = 0;
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw SpecError{"fault spec: bad ordinal '" + std::string{text} + "' in " + context};
+  }
+  return value;
+}
+
+sim::SimTime millis_of(double ms) { return sim::SimTime::from_seconds_f(ms / 1000.0); }
+
+/// Fixed-point millisecond rendering without locale or trailing-zero noise.
+std::string format_ms(sim::SimTime t) {
+  const std::int64_t us = t.as_micros();
+  char buf[48];
+  if (us % 1000 == 0) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(us / 1000));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(us) / 1000.0);
+  }
+  return buf;
+}
+
+std::string format_probability(double p) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%g", p);
+  return buf;
+}
+
+using KvList = std::vector<std::pair<std::string, std::string>>;
+
+KvList parse_kv_list(std::string_view body, const std::string& context) {
+  KvList out;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t comma = body.find(',', pos);
+    if (comma == std::string_view::npos) comma = body.size();
+    const std::string_view item = body.substr(pos, comma - pos);
+    if (!item.empty()) {
+      const std::size_t eq = item.find('=');
+      if (eq == std::string_view::npos || eq == 0) {
+        throw SpecError{"fault spec: expected key=value, got '" + std::string{item} +
+                        "' in " + context};
+      }
+      out.emplace_back(std::string{item.substr(0, eq)}, std::string{item.substr(eq + 1)});
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// Pull the known keys out of a kv list, rejecting unknown ones.
+class KvReader {
+ public:
+  KvReader(KvList kvs, std::string context)
+      : kvs_{std::move(kvs)}, context_{std::move(context)} {}
+
+  std::optional<std::string> take(const std::string& key) {
+    for (auto it = kvs_.begin(); it != kvs_.end(); ++it) {
+      if (it->first == key) {
+        std::string value = std::move(it->second);
+        kvs_.erase(it);
+        return value;
+      }
+    }
+    return std::nullopt;
+  }
+
+  void finish() const {
+    if (kvs_.empty()) return;
+    throw SpecError{"fault spec: unknown key '" + kvs_.front().first + "' in " + context_};
+  }
+
+  [[nodiscard]] const std::string& context() const { return context_; }
+
+ private:
+  KvList kvs_;
+  std::string context_;
+};
+
+TimeWindow read_window(KvReader& kv) {
+  TimeWindow window;
+  if (const auto from = kv.take("from")) {
+    window.from = millis_of(parse_number(*from, kv.context()));
+  }
+  if (const auto until = kv.take("until")) {
+    window.until = millis_of(parse_number(*until, kv.context()));
+  }
+  if (window.until && *window.until <= window.from) {
+    throw SpecError{"fault spec: empty window (until <= from) in " + kv.context()};
+  }
+  return window;
+}
+
+double read_probability(KvReader& kv) {
+  const auto p = kv.take("p");
+  if (!p) return 1.0;
+  const double value = parse_number(*p, kv.context());
+  if (value < 0.0 || value > 1.0) {
+    throw SpecError{"fault spec: p must be in [0, 1] in " + kv.context()};
+  }
+  return value;
+}
+
+ByzMode parse_mode(const std::string& text, const std::string& context) {
+  static const std::map<std::string, ByzMode> kModes{
+      {"silent", ByzMode::kSilent},
+      {"lazy", ByzMode::kLazy},
+      {"equivocate", ByzMode::kEquivocate},
+      {"selective-silent", ByzMode::kSelectiveSilent},
+      {"stale-view", ByzMode::kStaleView},
+      {"bogus-reply", ByzMode::kBogusReply},
+  };
+  const auto it = kModes.find(text);
+  if (it == kModes.end()) {
+    throw SpecError{"fault spec: unknown byz mode '" + text + "' in " + context};
+  }
+  return it->second;
+}
+
+std::uint32_t read_controller(KvReader& kv) {
+  const auto node = kv.take("node");
+  if (!node) throw SpecError{"fault spec: missing node= in " + kv.context()};
+  const NodeSelector sel = NodeSelector::parse(*node);
+  if (sel.kind != SelectorKind::kController || !sel.ordinal) {
+    throw SpecError{"fault spec: node= must name one controller (ctrl<N>) in " +
+                    kv.context()};
+  }
+  return *sel.ordinal;
+}
+
+}  // namespace
+
+NodeSelector NodeSelector::parse(std::string_view text) {
+  NodeSelector sel;
+  if (text == "*" || text.empty()) return sel;
+  if (text.starts_with("ctrl")) {
+    sel.kind = SelectorKind::kController;
+    text.remove_prefix(4);
+  } else if (text.starts_with("sw")) {
+    sel.kind = SelectorKind::kSwitch;
+    text.remove_prefix(2);
+  } else {
+    throw SpecError{"fault spec: bad selector '" + std::string{text} +
+                    "' (want *, ctrl[N], or sw[N])"};
+  }
+  if (!text.empty()) sel.ordinal = parse_ordinal(text, "selector");
+  return sel;
+}
+
+std::string NodeSelector::to_string() const {
+  std::string out;
+  switch (kind) {
+    case SelectorKind::kAny: return "*";
+    case SelectorKind::kController: out = "ctrl"; break;
+    case SelectorKind::kSwitch: out = "sw"; break;
+  }
+  if (ordinal) out += std::to_string(*ordinal);
+  return out;
+}
+
+FaultPlan FaultPlan::parse(std::string_view spec, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  const std::string compact = strip(spec);
+  std::size_t pos = 0;
+  while (pos < compact.size()) {
+    std::size_t semi = compact.find(';', pos);
+    if (semi == std::string::npos) semi = compact.size();
+    const std::string_view clause{compact.data() + pos, semi - pos};
+    pos = semi + 1;
+    if (clause.empty()) continue;
+
+    const std::size_t open = clause.find('(');
+    if (open == std::string_view::npos || clause.back() != ')') {
+      throw SpecError{"fault spec: expected kind(...), got '" + std::string{clause} + "'"};
+    }
+    const std::string kind{clause.substr(0, open)};
+    const std::string_view body = clause.substr(open + 1, clause.size() - open - 2);
+    KvReader kv{parse_kv_list(body, kind), kind};
+
+    if (kind == "drop" || kind == "delay" || kind == "dup" || kind == "corrupt") {
+      LinkFaultClause link;
+      link.kind = kind == "drop"      ? FaultKind::kDrop
+                  : kind == "delay"   ? FaultKind::kDelay
+                  : kind == "dup"     ? FaultKind::kDuplicate
+                                      : FaultKind::kCorrupt;
+      link.probability = read_probability(kv);
+      if (const auto cat = kv.take("cat")) link.category = *cat;
+      if (const auto src = kv.take("src")) link.src = NodeSelector::parse(*src);
+      if (const auto dst = kv.take("dst")) link.dst = NodeSelector::parse(*dst);
+      link.window = read_window(kv);
+      if (link.kind == FaultKind::kDelay || link.kind == FaultKind::kDuplicate) {
+        if (link.kind == FaultKind::kDuplicate) {
+          // Extra copies trail the original by a small offset by default.
+          link.delay_min = sim::SimTime::zero();
+          link.delay_max = sim::SimTime::millis(10);
+        }
+        if (const auto lo = kv.take("min")) {
+          link.delay_min = millis_of(parse_number(*lo, kind));
+        }
+        if (const auto hi = kv.take("max")) {
+          link.delay_max = millis_of(parse_number(*hi, kind));
+        }
+        if (link.delay_max < link.delay_min) {
+          throw SpecError{"fault spec: max < min in " + kind};
+        }
+      }
+      if (link.kind == FaultKind::kDuplicate) {
+        if (const auto copies = kv.take("copies")) {
+          link.copies = static_cast<std::size_t>(parse_ordinal(*copies, kind));
+          if (link.copies == 0) throw SpecError{"fault spec: copies must be >= 1 in dup"};
+        }
+      }
+      kv.finish();
+      plan.link_faults.push_back(std::move(link));
+    } else if (kind == "partition") {
+      LinkFaultClause link;
+      link.kind = FaultKind::kPartition;
+      if (const auto a = kv.take("a")) link.src = NodeSelector::parse(*a);
+      if (const auto b = kv.take("b")) link.dst = NodeSelector::parse(*b);
+      link.window = read_window(kv);
+      kv.finish();
+      if (link.src.kind == SelectorKind::kAny && link.dst.kind == SelectorKind::kAny) {
+        throw SpecError{"fault spec: partition(a=*,b=*) would sever every link"};
+      }
+      plan.link_faults.push_back(std::move(link));
+    } else if (kind == "crash") {
+      NodeEventClause ev;
+      ev.kind = NodeEventClause::Kind::kCrash;
+      ev.controller = read_controller(kv);
+      if (const auto at = kv.take("at")) ev.at = millis_of(parse_number(*at, kind));
+      if (const auto down = kv.take("down")) {
+        const double ms = parse_number(*down, kind);
+        if (ms <= 0.0) {
+          ev.down.reset();  // down=0: never restarts
+        } else {
+          ev.down = millis_of(ms);
+        }
+      }
+      kv.finish();
+      plan.node_events.push_back(ev);
+    } else if (kind == "byz") {
+      NodeEventClause ev;
+      ev.kind = NodeEventClause::Kind::kByzantine;
+      ev.controller = read_controller(kv);
+      const auto mode = kv.take("mode");
+      if (!mode) throw SpecError{"fault spec: missing mode= in byz"};
+      ev.mode = parse_mode(*mode, kind);
+      if (const auto at = kv.take("at")) ev.at = millis_of(parse_number(*at, kind));
+      ev.down.reset();
+      kv.finish();
+      plan.node_events.push_back(ev);
+    } else {
+      throw SpecError{"fault spec: unknown fault kind '" + kind + "'"};
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::canonical() const {
+  std::string out;
+  const auto append = [&out](const std::string& clause) {
+    if (!out.empty()) out += ';';
+    out += clause;
+  };
+  for (const LinkFaultClause& link : link_faults) {
+    std::string clause{to_string(link.kind)};
+    clause += '(';
+    std::vector<std::string> kvs;
+    if (link.kind == FaultKind::kPartition) {
+      kvs.push_back("a=" + link.src.to_string());
+      kvs.push_back("b=" + link.dst.to_string());
+    } else {
+      if (link.probability != 1.0) kvs.push_back("p=" + format_probability(link.probability));
+      if (link.category != "*") kvs.push_back("cat=" + link.category);
+      if (link.src.kind != SelectorKind::kAny) kvs.push_back("src=" + link.src.to_string());
+      if (link.dst.kind != SelectorKind::kAny) kvs.push_back("dst=" + link.dst.to_string());
+      if (link.kind == FaultKind::kDelay || link.kind == FaultKind::kDuplicate) {
+        kvs.push_back("min=" + format_ms(link.delay_min));
+        kvs.push_back("max=" + format_ms(link.delay_max));
+      }
+      if (link.kind == FaultKind::kDuplicate) {
+        kvs.push_back("copies=" + std::to_string(link.copies));
+      }
+    }
+    if (link.window.from != sim::SimTime::zero()) {
+      kvs.push_back("from=" + format_ms(link.window.from));
+    }
+    if (link.window.until) kvs.push_back("until=" + format_ms(*link.window.until));
+    for (std::size_t i = 0; i < kvs.size(); ++i) {
+      if (i > 0) clause += ',';
+      clause += kvs[i];
+    }
+    clause += ')';
+    append(clause);
+  }
+  for (const NodeEventClause& ev : node_events) {
+    std::string clause;
+    if (ev.kind == NodeEventClause::Kind::kCrash) {
+      clause = "crash(node=ctrl" + std::to_string(ev.controller);
+      if (ev.at != sim::SimTime::zero()) clause += ",at=" + format_ms(ev.at);
+      clause += ev.down ? ",down=" + format_ms(*ev.down) : ",down=0";
+      clause += ')';
+    } else {
+      clause = "byz(node=ctrl" + std::to_string(ev.controller) +
+               ",mode=" + std::string{to_string(ev.mode)};
+      if (ev.at != sim::SimTime::zero()) clause += ",at=" + format_ms(ev.at);
+      clause += ')';
+    }
+    append(clause);
+  }
+  return out;
+}
+
+}  // namespace curb::fault

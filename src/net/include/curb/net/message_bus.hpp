@@ -17,6 +17,16 @@
 
 namespace curb::net {
 
+/// What a fault hook did to one message. The hook may additionally mutate
+/// the payload in place (byte corruption) before delivery is scheduled.
+struct BusFaultAction {
+  bool drop = false;
+  sim::SimTime extra_delay = sim::SimTime::zero();
+  /// Extra deliveries of the same payload, offset from the original
+  /// delivery time (message duplication).
+  std::vector<sim::SimTime> duplicates;
+};
+
 /// Per-category message accounting. Theorem 1 in the paper bounds the
 /// *number* of messages per round; the bus counts every send so benches can
 /// measure the bound directly instead of arguing about it.
@@ -78,6 +88,11 @@ class MessageBus {
   /// Returns std::nullopt to drop, or an extra delay to add.
   using Interceptor =
       std::function<std::optional<sim::SimTime>(NodeId from, NodeId to, const Payload&)>;
+  /// Fault-injection hook (curb::fault): decides drop / extra delay /
+  /// duplication and may corrupt the payload in place. Runs after the
+  /// interceptor, on every message that survived it.
+  using FaultHook = std::function<BusFaultAction(NodeId from, NodeId to, Payload& payload,
+                                                 const std::string& category)>;
 
   MessageBus(sim::Simulator& sim, const Topology& topo, LinkModel model = {})
       : sim_{sim}, topo_{topo}, model_{model}, handlers_(topo.node_count()) {}
@@ -91,6 +106,8 @@ class MessageBus {
   }
 
   void set_interceptor(Interceptor interceptor) { interceptor_ = std::move(interceptor); }
+
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
   /// Attach observability (nullptr disables). Per-category delivery-delay
   /// histograms, message/byte counters, and drop counters land in the
@@ -124,6 +141,19 @@ class MessageBus {
       }
       delay += *extra;
     }
+    if (fault_hook_) {
+      const BusFaultAction action = fault_hook_(from, to, payload, category);
+      if (action.drop) {
+        if (obs_ != nullptr) instruments(category).dropped_fault->inc();
+        return;  // dropped by fault injection
+      }
+      delay += action.extra_delay;
+      for (const sim::SimTime offset : action.duplicates) {
+        sim_.schedule(delay + offset, [this, from, to, payload] {
+          deliver(from, to, payload);
+        });
+      }
+    }
     if (obs_ != nullptr) {
       const CategoryInstruments& series = instruments(category);
       series.messages->inc();
@@ -131,8 +161,7 @@ class MessageBus {
       series.delay_us->record(static_cast<double>(delay.as_micros()));
     }
     sim_.schedule(delay, [this, from, to, payload = std::move(payload)] {
-      if (to.value >= handlers_.size()) return;  // no handler ever attached
-      if (auto& handler = handlers_[to.value]) handler(from, payload);
+      deliver(from, to, payload);
     });
   }
 
@@ -157,8 +186,14 @@ class MessageBus {
     obs::Counter* bytes = nullptr;
     obs::Counter* dropped_partition = nullptr;
     obs::Counter* dropped_interceptor = nullptr;
+    obs::Counter* dropped_fault = nullptr;
     obs::Histogram* delay_us = nullptr;
   };
+
+  void deliver(NodeId from, NodeId to, const Payload& payload) {
+    if (to.value >= handlers_.size()) return;  // no handler ever attached
+    if (auto& handler = handlers_[to.value]) handler(from, payload);
+  }
 
   const CategoryInstruments& instruments(const std::string& category) {
     const auto it = instruments_.find(category);
@@ -171,6 +206,8 @@ class MessageBus {
         "net.dropped", {{"category", category}, {"reason", "partition"}});
     series.dropped_interceptor = &registry.counter(
         "net.dropped", {{"category", category}, {"reason", "interceptor"}});
+    series.dropped_fault = &registry.counter(
+        "net.dropped", {{"category", category}, {"reason", "fault"}});
     series.delay_us = &registry.histogram("net.delay_us", {{"category", category}});
     return instruments_.emplace(category, series).first->second;
   }
@@ -180,6 +217,7 @@ class MessageBus {
   LinkModel model_;
   std::vector<Handler> handlers_;
   Interceptor interceptor_;
+  FaultHook fault_hook_;
   MessageStats stats_;
   obs::Observatory* obs_ = nullptr;
   std::map<std::string, CategoryInstruments> instruments_;

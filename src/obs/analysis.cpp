@@ -395,6 +395,35 @@ void TraceAnalysis::detect_anomalies() {
     }
   }
 
+  // Fault-injection markers (curb::fault records a "fault.<kind>" instant
+  // per injected fault): one aggregated finding per fault kind, so a faulted
+  // run is flagged loudly without drowning the report in per-message noise.
+  {
+    struct FaultGroup {
+      std::uint64_t count = 0;
+      std::int64_t first_us = 0;
+      std::uint64_t first_span = 0;
+    };
+    std::map<std::string, FaultGroup> fault_groups;
+    for (const SpanRecord& s : spans_) {
+      if (!s.name.starts_with("fault.")) continue;
+      auto [it, inserted] = fault_groups.try_emplace(s.name);
+      if (inserted) {
+        it->second.first_us = s.start.as_micros();
+        it->second.first_span = s.id;
+      }
+      ++it->second.count;
+    }
+    for (const auto& [name, group] : fault_groups) {
+      findings_.push_back({"fault_injection", Finding::Severity::kWarning,
+                           name + " injected " + std::to_string(group.count) +
+                               " time(s) — this run was deliberately faulted",
+                           "fault",
+                           {group.first_span},
+                           group.first_us});
+    }
+  }
+
   std::stable_sort(findings_.begin(), findings_.end(),
                    [](const Finding& a, const Finding& b) {
                      if (a.at_us != b.at_us) return a.at_us < b.at_us;

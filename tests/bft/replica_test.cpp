@@ -272,6 +272,113 @@ TEST(PbftReplica, GarbageCollectsExecutedSlots) {
   EXPECT_EQ(replicas[0]->next_execute(), 21u);
 }
 
+TEST(PbftReplica, AdoptedViewPrunesStaleViewChangeVotes) {
+  // Regression: view-change votes for views at or below the installed view
+  // must be discarded on adoption, or spammed stale votes accumulate forever.
+  sim::Simulator sim;
+  const auto noop_send = [](std::uint32_t, const PbftMessage&) {};
+  const auto noop_deliver = [](std::uint64_t, const std::vector<std::uint8_t>&) {};
+  PbftReplica::Config cfg;
+  cfg.group_size = 4;  // f = 1: a single vote per view never reaches f+1
+  PbftReplica r{cfg, sim, noop_send, noop_deliver};
+
+  for (std::uint64_t v = 2; v <= 10; ++v) {
+    PbftMessage vc;
+    vc.type = PbftMessage::Type::kViewChange;
+    vc.view = v;
+    vc.sender = 1;
+    r.on_message(vc);
+  }
+  EXPECT_EQ(r.pending_view_change_views().size(), 9u);
+
+  // A NEW-VIEW for view 11 (leader 11 % 4 == 3) installs the view; every
+  // pending vote set is for a view <= 11 and must be pruned with it.
+  PbftMessage nv;
+  nv.type = PbftMessage::Type::kNewView;
+  nv.view = 11;
+  nv.sender = 3;
+  r.on_message(nv);
+  EXPECT_EQ(r.view(), 11u);
+  EXPECT_TRUE(r.pending_view_change_views().empty());
+}
+
+TEST(PbftReplica, ReArmedSlotDoesNotFireStaleTimeout) {
+  // Regression: a slot re-armed by a fresh proposal (the new leader reuses
+  // the sequence it re-proposed during view change) must cancel the previous
+  // timer, or the stale timer fires mid-round and forces a spurious view
+  // change even though the round commits in time.
+  sim::Simulator sim;
+  std::vector<PbftMessage> sent;
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> delivered;
+  PbftReplica::Config cfg;
+  cfg.replica_index = 1;
+  cfg.group_size = 4;
+  cfg.view_change_timeout = sim::SimTime::millis(500);
+  PbftReplica r{cfg, sim,
+                [&sent](std::uint32_t, const PbftMessage& msg) { sent.push_back(msg); },
+                [&delivered](std::uint64_t seq, const std::vector<std::uint8_t>& p) {
+                  delivered.emplace_back(seq, p);
+                }};
+
+  // t=0: replicas 0 and 2 demand view 1 carrying a prepared entry for seq 1.
+  // Replica 1 joins at f+1, reaches the 2f+1 quorum, and — as leader of
+  // view 1 — re-proposes seq 1, arming its timeout (fires at t=500ms).
+  for (const std::uint32_t sender : {0u, 2u}) {
+    PbftMessage vc;
+    vc.type = PbftMessage::Type::kViewChange;
+    vc.view = 1;
+    vc.sender = sender;
+    vc.prepared.push_back({1, payload_digest(payload("x")), payload("x")});
+    r.on_message(vc);
+  }
+  ASSERT_EQ(r.view(), 1u);
+  ASSERT_TRUE(r.is_leader());
+  sent.clear();  // the join's own VIEW-CHANGE broadcast is legitimate
+
+  // t=100ms: the leader proposes fresh content that lands on the same
+  // sequence, re-arming the slot (new deadline t=600ms). The old timer must
+  // die here.
+  sim.run_until(100_ms);
+  const std::uint64_t seq = r.propose(payload("y"));
+  ASSERT_EQ(seq, 1u);
+
+  // t=550ms: past the stale deadline but before the live one, the round
+  // completes normally.
+  sim.run_until(550_ms);
+  for (const std::uint32_t sender : {2u, 3u}) {
+    PbftMessage prepare;
+    prepare.type = PbftMessage::Type::kPrepare;
+    prepare.view = 1;
+    prepare.sequence = 1;
+    prepare.digest = payload_digest(payload("y"));
+    prepare.sender = sender;
+    r.on_message(prepare);
+  }
+  for (const std::uint32_t sender : {2u, 3u}) {
+    PbftMessage commit;
+    commit.type = PbftMessage::Type::kCommit;
+    commit.view = 1;
+    commit.sequence = 1;
+    commit.digest = payload_digest(payload("y"));
+    commit.sender = sender;
+    r.on_message(commit);
+  }
+  sim.run();
+
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].first, 1u);
+  EXPECT_EQ(delivered[0].second, payload("y"));
+  EXPECT_EQ(r.view(), 1u);
+  // The buggy stale timer fired at t=500ms and broadcast a VIEW-CHANGE for
+  // view 2; with the fix no view-change message ever leaves the replica
+  // after the initial adoption.
+  for (const PbftMessage& msg : sent) {
+    EXPECT_NE(msg.type, PbftMessage::Type::kViewChange)
+        << "stale slot timeout triggered a spurious view change (view "
+        << msg.view << ")";
+  }
+}
+
 TEST(PbftMessage, WireSizeAccounting) {
   PbftMessage msg;
   msg.payload = payload("12345");

@@ -1,0 +1,175 @@
+#include "curb/fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "curb/net/topology.hpp"
+
+namespace curb::fault {
+namespace {
+
+using sim::SimTime;
+
+/// 2 controllers + 2 switches in a line: ctrl0 - ctrl1 - sw0 - sw1.
+/// Controller/switch ordinals match CurbNetwork's id convention (k-th node
+/// of the kind).
+struct TestNet {
+  TestNet() {
+    ctrl0 = topo.add_node("c0", net::NodeKind::kController, {0.0, 0.0});
+    ctrl1 = topo.add_node("c1", net::NodeKind::kController, {0.0, 1.0});
+    sw0 = topo.add_node("s0", net::NodeKind::kSwitch, {0.0, 2.0});
+    sw1 = topo.add_node("s1", net::NodeKind::kSwitch, {0.0, 3.0});
+    topo.add_link(ctrl0, ctrl1);
+    topo.add_link(ctrl1, sw0);
+    topo.add_link(sw0, sw1);
+  }
+
+  [[nodiscard]] FaultInjector make(const std::string& spec, std::uint64_t seed = 1) {
+    return FaultInjector{FaultPlan::parse(spec, seed), topo};
+  }
+
+  net::Topology topo;
+  net::NodeId ctrl0, ctrl1, sw0, sw1;
+};
+
+TEST(FaultInjector, NoPlanNoFaults) {
+  TestNet net;
+  FaultInjector inj = net.make("");
+  const LinkFaultDecision d =
+      inj.on_message(net.ctrl0, net.sw0, "REPLY", SimTime::zero());
+  EXPECT_FALSE(d.drop);
+  EXPECT_FALSE(d.corrupt);
+  EXPECT_EQ(d.extra_delay, SimTime::zero());
+  EXPECT_TRUE(d.duplicates.empty());
+  EXPECT_FALSE(d.any());
+}
+
+TEST(FaultInjector, CategoryFilterSelectsMessages) {
+  TestNet net;
+  FaultInjector inj = net.make("drop(cat=REPLY)");
+  EXPECT_TRUE(inj.on_message(net.ctrl0, net.sw0, "REPLY", SimTime::zero()).drop);
+  EXPECT_FALSE(inj.on_message(net.ctrl0, net.sw0, "intra-pbft", SimTime::zero()).drop);
+  EXPECT_EQ(inj.fired_counts().at(FaultKind::kDrop), 1u);
+}
+
+TEST(FaultInjector, SourceSelectorFiltersByOrdinal) {
+  TestNet net;
+  FaultInjector inj = net.make("drop(src=ctrl1)");
+  EXPECT_TRUE(inj.on_message(net.ctrl1, net.sw0, "REPLY", SimTime::zero()).drop);
+  EXPECT_FALSE(inj.on_message(net.ctrl0, net.sw0, "REPLY", SimTime::zero()).drop);
+  // Switch ordinal 1 is a different node class than controller 1.
+  EXPECT_FALSE(inj.on_message(net.sw1, net.ctrl0, "PKT-IN", SimTime::zero()).drop);
+}
+
+TEST(FaultInjector, DestinationSelectorAndKindWildcards) {
+  TestNet net;
+  FaultInjector inj = net.make("drop(dst=sw)");
+  EXPECT_TRUE(inj.on_message(net.ctrl0, net.sw0, "REPLY", SimTime::zero()).drop);
+  EXPECT_TRUE(inj.on_message(net.ctrl0, net.sw1, "REPLY", SimTime::zero()).drop);
+  EXPECT_FALSE(inj.on_message(net.sw0, net.ctrl0, "PKT-IN", SimTime::zero()).drop);
+}
+
+TEST(FaultInjector, WindowGatesActivation) {
+  TestNet net;
+  FaultInjector inj = net.make("drop(from=100,until=200)");
+  EXPECT_FALSE(inj.on_message(net.ctrl0, net.sw0, "x", SimTime::millis(99)).drop);
+  EXPECT_TRUE(inj.on_message(net.ctrl0, net.sw0, "x", SimTime::millis(100)).drop);
+  EXPECT_TRUE(inj.on_message(net.ctrl0, net.sw0, "x", SimTime::millis(199)).drop);
+  EXPECT_FALSE(inj.on_message(net.ctrl0, net.sw0, "x", SimTime::millis(200)).drop);
+}
+
+TEST(FaultInjector, PartitionCutsBothDirections) {
+  TestNet net;
+  FaultInjector inj = net.make("partition(a=ctrl1,b=*,until=500)");
+  EXPECT_TRUE(inj.on_message(net.ctrl1, net.sw0, "REPLY", SimTime::zero()).drop);
+  EXPECT_TRUE(inj.on_message(net.sw0, net.ctrl1, "PKT-IN", SimTime::zero()).drop);
+  EXPECT_TRUE(inj.on_message(net.ctrl0, net.ctrl1, "AGREE", SimTime::zero()).drop);
+  // Links not touching ctrl1 survive.
+  EXPECT_FALSE(inj.on_message(net.ctrl0, net.sw0, "REPLY", SimTime::zero()).drop);
+  // The partition heals after the window.
+  EXPECT_FALSE(inj.on_message(net.ctrl1, net.sw0, "REPLY", SimTime::millis(500)).drop);
+  EXPECT_EQ(inj.fired_counts().at(FaultKind::kPartition), 3u);
+}
+
+TEST(FaultInjector, DelayStaysWithinBounds) {
+  TestNet net;
+  FaultInjector inj = net.make("delay(min=5,max=30)");
+  for (int i = 0; i < 50; ++i) {
+    const LinkFaultDecision d =
+        inj.on_message(net.ctrl0, net.sw0, "REPLY", SimTime::zero());
+    EXPECT_FALSE(d.drop);
+    EXPECT_GE(d.extra_delay, SimTime::millis(5));
+    EXPECT_LE(d.extra_delay, SimTime::millis(30));
+  }
+  EXPECT_EQ(inj.fired_counts().at(FaultKind::kDelay), 50u);
+}
+
+TEST(FaultInjector, DuplicateEmitsRequestedCopies) {
+  TestNet net;
+  FaultInjector inj = net.make("dup(copies=3,min=1,max=4)");
+  const LinkFaultDecision d =
+      inj.on_message(net.ctrl0, net.sw0, "REPLY", SimTime::zero());
+  ASSERT_EQ(d.duplicates.size(), 3u);
+  for (const SimTime offset : d.duplicates) {
+    EXPECT_GE(offset, SimTime::millis(1));
+    EXPECT_LE(offset, SimTime::millis(4));
+  }
+}
+
+TEST(FaultInjector, CorruptMarksMessageOnly) {
+  TestNet net;
+  FaultInjector inj = net.make("corrupt(cat=REPLY)");
+  const LinkFaultDecision d =
+      inj.on_message(net.ctrl0, net.sw0, "REPLY", SimTime::zero());
+  EXPECT_TRUE(d.corrupt);
+  EXPECT_FALSE(d.drop);
+  EXPECT_TRUE(d.any());
+  ASSERT_EQ(d.fired.size(), 1u);
+  EXPECT_EQ(d.fired[0], FaultKind::kCorrupt);
+}
+
+TEST(FaultInjector, ClausesCompose) {
+  TestNet net;
+  FaultInjector inj = net.make("delay(min=2,max=2);dup(copies=1,min=3,max=3)");
+  const LinkFaultDecision d =
+      inj.on_message(net.ctrl0, net.sw0, "REPLY", SimTime::zero());
+  EXPECT_EQ(d.extra_delay, SimTime::millis(2));
+  ASSERT_EQ(d.duplicates.size(), 1u);
+  EXPECT_EQ(d.duplicates[0], SimTime::millis(3));
+  EXPECT_EQ(d.fired.size(), 2u);
+}
+
+TEST(FaultInjector, ProbabilityIsNeitherAlwaysNorNever) {
+  TestNet net;
+  FaultInjector inj = net.make("drop(p=0.5)", /*seed=*/7);
+  int dropped = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (inj.on_message(net.ctrl0, net.sw0, "x", SimTime::zero()).drop) ++dropped;
+  }
+  EXPECT_GT(dropped, 50);
+  EXPECT_LT(dropped, 150);
+}
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  TestNet net;
+  const std::string spec = "drop(p=0.3);delay(p=0.5,min=1,max=20);dup(p=0.2,copies=2)";
+  auto run = [&](std::uint64_t seed) {
+    FaultInjector inj = net.make(spec, seed);
+    std::vector<std::string> decisions;
+    for (int i = 0; i < 100; ++i) {
+      const LinkFaultDecision d =
+          inj.on_message(net.ctrl0, net.sw0, "REPLY", SimTime::millis(i));
+      decisions.push_back(std::to_string(d.drop) + ":" +
+                          std::to_string(d.extra_delay.as_micros()) + ":" +
+                          std::to_string(d.duplicates.size()));
+    }
+    return decisions;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+}  // namespace
+}  // namespace curb::fault

@@ -1,0 +1,208 @@
+#include "curb/fault/spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace curb::fault {
+namespace {
+
+using sim::SimTime;
+
+TEST(FaultSpec, EmptySpecYieldsEmptyPlan) {
+  const FaultPlan plan = FaultPlan::parse("");
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.canonical(), "");
+  // Stray separators are harmless.
+  EXPECT_TRUE(FaultPlan::parse(";;  ; ").empty());
+}
+
+TEST(FaultSpec, ParsesDropClause) {
+  const FaultPlan plan = FaultPlan::parse("drop(p=0.25,cat=REPLY,src=ctrl1,dst=sw3)");
+  ASSERT_EQ(plan.link_faults.size(), 1u);
+  const LinkFaultClause& c = plan.link_faults[0];
+  EXPECT_EQ(c.kind, FaultKind::kDrop);
+  EXPECT_DOUBLE_EQ(c.probability, 0.25);
+  EXPECT_EQ(c.category, "REPLY");
+  EXPECT_EQ(c.src.kind, SelectorKind::kController);
+  EXPECT_EQ(c.src.ordinal, std::optional<std::uint32_t>{1});
+  EXPECT_EQ(c.dst.kind, SelectorKind::kSwitch);
+  EXPECT_EQ(c.dst.ordinal, std::optional<std::uint32_t>{3});
+}
+
+TEST(FaultSpec, DropDefaults) {
+  const FaultPlan plan = FaultPlan::parse("drop()");
+  ASSERT_EQ(plan.link_faults.size(), 1u);
+  const LinkFaultClause& c = plan.link_faults[0];
+  EXPECT_DOUBLE_EQ(c.probability, 1.0);
+  EXPECT_EQ(c.category, "*");
+  EXPECT_EQ(c.src.kind, SelectorKind::kAny);
+  EXPECT_EQ(c.dst.kind, SelectorKind::kAny);
+  EXPECT_EQ(c.window.from, SimTime::zero());
+  EXPECT_FALSE(c.window.until.has_value());
+}
+
+TEST(FaultSpec, ParsesDelayBounds) {
+  const FaultPlan plan = FaultPlan::parse("delay(p=0.5,min=5,max=40.5)");
+  ASSERT_EQ(plan.link_faults.size(), 1u);
+  const LinkFaultClause& c = plan.link_faults[0];
+  EXPECT_EQ(c.kind, FaultKind::kDelay);
+  EXPECT_EQ(c.delay_min, SimTime::millis(5));
+  EXPECT_EQ(c.delay_max.as_micros(), 40500);
+  EXPECT_THROW((void)FaultPlan::parse("delay(min=30,max=10)"), SpecError);
+}
+
+TEST(FaultSpec, ParsesDuplicateClause) {
+  const FaultPlan plan = FaultPlan::parse("dup(cat=REPLY,copies=3)");
+  ASSERT_EQ(plan.link_faults.size(), 1u);
+  const LinkFaultClause& c = plan.link_faults[0];
+  EXPECT_EQ(c.kind, FaultKind::kDuplicate);
+  EXPECT_EQ(c.copies, 3u);
+  // Default trailing offsets for extra copies.
+  EXPECT_EQ(c.delay_min, SimTime::zero());
+  EXPECT_EQ(c.delay_max, SimTime::millis(10));
+  EXPECT_THROW((void)FaultPlan::parse("dup(copies=0)"), SpecError);
+}
+
+TEST(FaultSpec, ParsesPartitionWindow) {
+  const FaultPlan plan = FaultPlan::parse("partition(a=ctrl1,b=*,from=100,until=800)");
+  ASSERT_EQ(plan.link_faults.size(), 1u);
+  const LinkFaultClause& c = plan.link_faults[0];
+  EXPECT_EQ(c.kind, FaultKind::kPartition);
+  EXPECT_EQ(c.window.from, SimTime::millis(100));
+  ASSERT_TRUE(c.window.until.has_value());
+  EXPECT_EQ(*c.window.until, SimTime::millis(800));
+  EXPECT_TRUE(c.window.contains(SimTime::millis(100)));
+  EXPECT_TRUE(c.window.contains(SimTime::millis(799)));
+  EXPECT_FALSE(c.window.contains(SimTime::millis(800)));
+  EXPECT_FALSE(c.window.contains(SimTime::millis(99)));
+  // A both-sides-wildcard partition would sever every link in the network.
+  EXPECT_THROW((void)FaultPlan::parse("partition(a=*,b=*)"), SpecError);
+  EXPECT_THROW((void)FaultPlan::parse("partition(a=ctrl1,from=50,until=50)"), SpecError);
+}
+
+TEST(FaultSpec, ParsesCrashClause) {
+  const FaultPlan plan = FaultPlan::parse("crash(node=ctrl2,at=300,down=1500)");
+  ASSERT_EQ(plan.node_events.size(), 1u);
+  const NodeEventClause& ev = plan.node_events[0];
+  EXPECT_EQ(ev.kind, NodeEventClause::Kind::kCrash);
+  EXPECT_EQ(ev.controller, 2u);
+  EXPECT_EQ(ev.at, SimTime::millis(300));
+  ASSERT_TRUE(ev.down.has_value());
+  EXPECT_EQ(*ev.down, SimTime::millis(1500));
+}
+
+TEST(FaultSpec, CrashDownZeroMeansNoRestart) {
+  const FaultPlan plan = FaultPlan::parse("crash(node=ctrl0,down=0)");
+  ASSERT_EQ(plan.node_events.size(), 1u);
+  EXPECT_FALSE(plan.node_events[0].down.has_value());
+}
+
+TEST(FaultSpec, ParsesEveryByzMode) {
+  const struct {
+    const char* name;
+    ByzMode mode;
+  } kCases[] = {
+      {"silent", ByzMode::kSilent},
+      {"lazy", ByzMode::kLazy},
+      {"equivocate", ByzMode::kEquivocate},
+      {"selective-silent", ByzMode::kSelectiveSilent},
+      {"stale-view", ByzMode::kStaleView},
+      {"bogus-reply", ByzMode::kBogusReply},
+  };
+  for (const auto& c : kCases) {
+    const FaultPlan plan =
+        FaultPlan::parse(std::string{"byz(node=ctrl1,mode="} + c.name + ")");
+    ASSERT_EQ(plan.node_events.size(), 1u) << c.name;
+    EXPECT_EQ(plan.node_events[0].kind, NodeEventClause::Kind::kByzantine);
+    EXPECT_EQ(plan.node_events[0].mode, c.mode) << c.name;
+  }
+  EXPECT_THROW((void)FaultPlan::parse("byz(node=ctrl1,mode=teleport)"), SpecError);
+  EXPECT_THROW((void)FaultPlan::parse("byz(node=ctrl1)"), SpecError);
+}
+
+TEST(FaultSpec, MultiClauseSpecWithWhitespace) {
+  const FaultPlan plan = FaultPlan::parse(
+      " drop(p=0.1, cat=REPLY) ; crash(node=ctrl1, at=500) ; byz(node=ctrl2, "
+      "mode=lazy) ");
+  EXPECT_EQ(plan.link_faults.size(), 1u);
+  EXPECT_EQ(plan.node_events.size(), 2u);
+}
+
+TEST(FaultSpec, RejectsMalformedInput) {
+  EXPECT_THROW((void)FaultPlan::parse("drop"), SpecError);          // no parens
+  EXPECT_THROW((void)FaultPlan::parse("drop(p=0.1"), SpecError);    // unterminated
+  EXPECT_THROW((void)FaultPlan::parse("teleport()"), SpecError);    // unknown kind
+  EXPECT_THROW((void)FaultPlan::parse("drop(frob=1)"), SpecError);  // unknown key
+  EXPECT_THROW((void)FaultPlan::parse("drop(p)"), SpecError);       // not key=value
+  EXPECT_THROW((void)FaultPlan::parse("drop(p=1.5)"), SpecError);   // p out of range
+  EXPECT_THROW((void)FaultPlan::parse("drop(p=-0.1)"), SpecError);
+  EXPECT_THROW((void)FaultPlan::parse("drop(p=abc)"), SpecError);   // bad number
+  EXPECT_THROW((void)FaultPlan::parse("drop(src=host1)"), SpecError);
+  EXPECT_THROW((void)FaultPlan::parse("crash(at=10)"), SpecError);  // missing node
+  EXPECT_THROW((void)FaultPlan::parse("crash(node=*)"), SpecError); // need one ctrl
+  EXPECT_THROW((void)FaultPlan::parse("crash(node=sw1)"), SpecError);
+  EXPECT_THROW((void)FaultPlan::parse("drop(from=100,until=100)"), SpecError);
+}
+
+TEST(FaultSpec, SelectorParseAndPrint) {
+  EXPECT_EQ(NodeSelector::parse("*").kind, SelectorKind::kAny);
+  const NodeSelector any_ctrl = NodeSelector::parse("ctrl");
+  EXPECT_EQ(any_ctrl.kind, SelectorKind::kController);
+  EXPECT_FALSE(any_ctrl.ordinal.has_value());
+  EXPECT_EQ(any_ctrl.to_string(), "ctrl");
+  const NodeSelector sw12 = NodeSelector::parse("sw12");
+  EXPECT_EQ(sw12.kind, SelectorKind::kSwitch);
+  EXPECT_EQ(sw12.ordinal, std::optional<std::uint32_t>{12});
+  EXPECT_EQ(sw12.to_string(), "sw12");
+  EXPECT_THROW((void)NodeSelector::parse("ctrlX"), SpecError);
+}
+
+TEST(FaultSpec, SelectorMatching) {
+  const NodeSelector any = NodeSelector::parse("*");
+  EXPECT_TRUE(any.matches(SelectorKind::kController, 5));
+  EXPECT_TRUE(any.matches(SelectorKind::kSwitch, 0));
+  const NodeSelector ctrl = NodeSelector::parse("ctrl");
+  EXPECT_TRUE(ctrl.matches(SelectorKind::kController, 7));
+  EXPECT_FALSE(ctrl.matches(SelectorKind::kSwitch, 7));
+  const NodeSelector ctrl2 = NodeSelector::parse("ctrl2");
+  EXPECT_TRUE(ctrl2.matches(SelectorKind::kController, 2));
+  EXPECT_FALSE(ctrl2.matches(SelectorKind::kController, 3));
+}
+
+TEST(FaultSpec, CanonicalFormRoundTrips) {
+  const char* kSpecs[] = {
+      "drop(p=0.25,cat=REPLY,src=ctrl1,dst=sw3,from=10,until=90)",
+      "delay(min=5,max=40,src=ctrl)",
+      "dup(cat=AGREE,copies=2)",
+      "corrupt(p=0.5,cat=REPLY)",
+      "partition(a=ctrl1,b=*,until=800)",
+      "crash(node=ctrl2,at=300,down=1500)",
+      "crash(node=ctrl0,down=0)",
+      "byz(node=ctrl3,mode=selective-silent,at=250)",
+      "drop(p=0.1);delay(min=1,max=2);crash(node=ctrl1,down=0)",
+  };
+  for (const char* spec : kSpecs) {
+    const std::string canonical = FaultPlan::parse(spec).canonical();
+    // Re-parsing the canonical form must be a fixed point.
+    EXPECT_EQ(FaultPlan::parse(canonical).canonical(), canonical) << spec;
+  }
+}
+
+TEST(FaultSpec, FractionalMillisecondsSurviveRoundTrip) {
+  const FaultPlan plan = FaultPlan::parse("delay(min=0.25,max=1.75)");
+  EXPECT_EQ(plan.link_faults[0].delay_min.as_micros(), 250);
+  EXPECT_EQ(plan.link_faults[0].delay_max.as_micros(), 1750);
+  const std::string canonical = plan.canonical();
+  EXPECT_EQ(FaultPlan::parse(canonical).link_faults[0].delay_min.as_micros(), 250);
+}
+
+TEST(FaultSpec, CategoryMatching) {
+  LinkFaultClause clause;
+  clause.category = "*";
+  EXPECT_TRUE(clause.matches_category("REPLY"));
+  clause.category = "REPLY";
+  EXPECT_TRUE(clause.matches_category("REPLY"));
+  EXPECT_FALSE(clause.matches_category("intra-pbft"));
+}
+
+}  // namespace
+}  // namespace curb::fault

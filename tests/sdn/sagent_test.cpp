@@ -95,6 +95,23 @@ TEST(SAgent, DuplicateRepliesIgnored) {
   EXPECT_TRUE(f.accepts.empty());
 }
 
+TEST(SAgent, RepeatedBogusRepliesFromOneControllerCannotWinQuorum) {
+  // Adversarial replay: a byzantine controller re-sends its bogus config
+  // many times (curb::fault dup clauses model exactly this on the wire).
+  // Replays must never stack into an f+1 quorum; only distinct controllers
+  // count, so the honest config wins.
+  AgentFixture f;
+  const auto id = f.agent.send_request(chain::RequestType::kPacketIn, {});
+  for (int i = 0; i < 3; ++i) f.agent.on_reply(10, id, f.config_b);  // bogus spam
+  EXPECT_TRUE(f.accepts.empty());
+  f.agent.on_reply(11, id, f.config_a);
+  f.agent.on_reply(11, id, f.config_a);  // honest duplicate (wire-level dup)
+  EXPECT_TRUE(f.accepts.empty());        // still one controller per config
+  f.agent.on_reply(12, id, f.config_a);  // second distinct controller: accept
+  ASSERT_EQ(f.accepts.size(), 1u);
+  EXPECT_EQ(f.accepts[0].second, f.config_a);
+}
+
 TEST(SAgent, RepliesFromOutsideGroupIgnored) {
   AgentFixture f;
   const auto id = f.agent.send_request(chain::RequestType::kPacketIn, {});
