@@ -7,11 +7,22 @@
 // swept; each round every active switch issues one table-miss PKT-IN.
 
 #include <cstdio>
+#include <cstdlib>
+#include <vector>
 
 #include "common.hpp"
 #include "curb/core/simulation.hpp"
 
 namespace {
+
+// CURB_BENCH_FAST=1 trims the sweeps to their smallest points for CI smoke
+// runs. Each configuration builds a fresh deterministic simulation, so the
+// entries a fast run produces are byte-identical (up to the host section) to
+// the corresponding entries of a full run.
+bool fast_mode() {
+  const char* env = std::getenv("CURB_BENCH_FAST");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
 
 using curb::bench::paper_options;
 using curb::core::CurbOptions;
@@ -51,7 +62,10 @@ int main() {
                             "Fig. 5(a) latency, Fig. 5(b) throughput");
   curb::bench::print_row_header(
       {"switches", "lat_ms", "lat_err", "tps_parallel", "tps_nonparallel"});
-  for (const std::size_t switches : {4u, 10u, 16u, 22u, 28u, 34u}) {
+  const std::vector<std::size_t> switch_sweep =
+      fast_mode() ? std::vector<std::size_t>{4, 16}
+                  : std::vector<std::size_t>{4, 10, 16, 22, 28, 34};
+  for (const std::size_t switches : switch_sweep) {
     CurbOptions parallel = paper_options();
     CurbSimulation sim_p{parallel};
     const Sample p = measure(sim_p, switches);
@@ -86,7 +100,9 @@ int main() {
   curb::bench::print_header("PACKET_IN handling vs fault tolerance f",
                             "Fig. 5(c) latency, Fig. 5(d) throughput");
   curb::bench::print_row_header({"f", "group_size", "lat_ms", "lat_err", "tps"});
-  for (const std::size_t f : {1u, 2u, 3u, 4u}) {
+  const std::vector<std::size_t> f_sweep =
+      fast_mode() ? std::vector<std::size_t>{1} : std::vector<std::size_t>{1, 2, 3, 4};
+  for (const std::size_t f : f_sweep) {
     CurbOptions opts = paper_options();
     opts.f = f;
     // Larger groups need more controller headroom (paper: "the larger the

@@ -17,6 +17,8 @@
 #include "curb/opt/lp.hpp"
 #include "curb/sim/simulator.hpp"
 
+#include "common.hpp"
+
 namespace {
 
 void BM_Sha256(benchmark::State& state) {
@@ -122,4 +124,14 @@ BENCHMARK(BM_SimulatorEvents);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN with host profiling: CURB_PROF / CURB_PROF_CHROME
+// install the process profiler before any benchmark runs (common.hpp's
+// HostProfile writes the profile files and prints the host summary at exit).
+int main(int argc, char** argv) {
+  curb::bench::HostProfile::install_from_env();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,9 +6,11 @@
 // simulated substrate; the shapes are the reproduction target (see
 // EXPERIMENTS.md).
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -19,9 +21,65 @@
 #include "curb/obs/analysis.hpp"
 #include "curb/obs/export.hpp"
 #include "curb/obs/report.hpp"
+#include "curb/prof/export.hpp"
+#include "curb/prof/profiler.hpp"
 #include "curb/sim/stats.hpp"
 
 namespace curb::bench {
+
+/// Environment-driven host profiling: set CURB_PROF to a path to write a
+/// collapsed-stack (flamegraph.pl) profile of the whole run, and/or
+/// CURB_PROF_CHROME for the Chrome-trace rendering. Either installs the
+/// process profiler for the main thread; at exit the profile files are
+/// written and a one-line host summary is printed. Host time never feeds the
+/// virtual clock, so profiled runs stay byte-identical to unprofiled ones.
+class HostProfile {
+ public:
+  /// Idempotent; benches call this from print_header so any bench binary
+  /// honours CURB_PROF without per-bench wiring.
+  static void install_from_env() { (void)instance(); }
+
+  [[nodiscard]] static bool enabled() { return instance().active_; }
+
+ private:
+  HostProfile() {
+    if (const char* path = std::getenv("CURB_PROF")) collapsed_path_ = path;
+    if (const char* path = std::getenv("CURB_PROF_CHROME")) chrome_path_ = path;
+    active_ = !collapsed_path_.empty() || !chrome_path_.empty();
+    if (active_) prof::set_thread_profiler(&profiler_);
+  }
+
+  ~HostProfile() {
+    if (!active_) return;
+    prof::set_thread_profiler(nullptr);
+    const double wall_s = wall_.elapsed_ms() / 1000.0;
+    const std::uint64_t events = profiler_.calls("sim.event");
+    std::string written;
+    if (!collapsed_path_.empty() && prof::export_collapsed(profiler_, collapsed_path_)) {
+      written = collapsed_path_;
+    }
+    if (!chrome_path_.empty() && prof::export_chrome_profile(profiler_, chrome_path_)) {
+      if (!written.empty()) written += ", ";
+      written += chrome_path_;
+    }
+    std::fprintf(stderr, "host: wall=%.2fs events/s=%.0f profile written to %s\n",
+                 wall_s, wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0,
+                 written.empty() ? "(none)" : written.c_str());
+  }
+
+  static HostProfile& instance() {
+    static HostProfile profile;
+    return profile;
+  }
+
+  friend class BenchResults;
+
+  prof::Profiler profiler_;
+  prof::StopWatch wall_;
+  std::string collapsed_path_;
+  std::string chrome_path_;
+  bool active_ = false;
+};
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {
   // Line-buffer stdout so partial results survive a killed run.
@@ -30,6 +88,7 @@ inline void print_header(const std::string& title, const std::string& paper_ref)
     return true;
   }();
   (void)unbuffered;
+  HostProfile::install_from_env();
   std::printf("\n=== %s ===\n", title.c_str());
   std::printf("(reproduces %s)\n", paper_ref.c_str());
 }
@@ -123,6 +182,7 @@ class BenchResults {
       entry << "\"" << obs::json_escape(metrics[i].first) << "\":" << value;
     }
     entry << "}";
+    append_host_section(entry, network);
     if (network != nullptr && network->observatory() != nullptr) {
       const obs::TraceAnalysis analysis =
           obs::TraceAnalysis::from_tracer(network->observatory()->tracer);
@@ -137,6 +197,54 @@ class BenchResults {
   }
 
  private:
+  /// Host-time section: wall-clock milliseconds since the previous entry
+  /// (always recorded, even with profiling off), the configuration's event
+  /// throughput, and — when a profiler is installed — the per-component
+  /// share of host time spent since the previous entry. Machine-dependent
+  /// by nature; kept in its own section so virtual metrics stay comparable
+  /// across hosts (and so perf-diff can hold host.* to looser thresholds).
+  static void append_host_section(std::ostringstream& entry,
+                                  core::CurbNetwork* network) {
+    const double wall_ms = instance().entry_wall_.lap_ms();
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.3f", wall_ms);
+    entry << ",\"host\":{\"wall_ms\":" << buf;
+    if (network != nullptr && wall_ms > 0.0) {
+      const double events =
+          static_cast<double>(network->simulator().events_executed());
+      std::snprintf(buf, sizeof buf, "%.1f", events / (wall_ms / 1000.0));
+      entry << ",\"events_per_sec\":" << buf;
+    }
+    if (const prof::Profiler* profiler = prof::thread_profiler()) {
+      auto& previous = instance().component_ns_;
+      const std::map<std::string, std::uint64_t> current =
+          profiler->exclusive_by_component();
+      std::uint64_t delta_total = 0;
+      std::map<std::string, std::uint64_t> delta;
+      for (const auto& [component, ns] : current) {
+        const auto it = previous.find(component);
+        const std::uint64_t d = ns - (it != previous.end() ? it->second : 0);
+        if (d > 0) delta[component] = d;
+        delta_total += d;
+      }
+      if (delta_total > 0) {
+        entry << ",\"components\":[";
+        bool first = true;
+        for (const auto& [component, ns] : delta) {
+          std::snprintf(buf, sizeof buf, "%.2f",
+                        100.0 * static_cast<double>(ns) /
+                            static_cast<double>(delta_total));
+          entry << (first ? "" : ",") << "{\"component\":\""
+                << obs::json_escape(component) << "\",\"share_pct\":" << buf << "}";
+          first = false;
+        }
+        entry << "]";
+      }
+      previous = current;
+    }
+    entry << "}";
+  }
+
   BenchResults() = default;
   ~BenchResults() {
     if (entries_.empty()) return;
@@ -158,6 +266,8 @@ class BenchResults {
   }
 
   std::vector<std::string> entries_;
+  prof::StopWatch entry_wall_;
+  std::map<std::string, std::uint64_t> component_ns_;
 };
 
 /// Write whatever the CURB_* env vars request from this network's

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "curb/prof/profiler.hpp"
+
 namespace curb::bft {
 
 HotstuffReplica::HotstuffReplica(Config config, sim::Simulator& sim, SendFn send,
@@ -116,6 +118,7 @@ bool HotstuffReplica::qc_valid(const PbftMessage& msg) const {
 }
 
 void HotstuffReplica::on_message(const PbftMessage& msg) {
+  const prof::Scope scope{"bft.hotstuff_msg"};
   if (msg.sender >= config_.group_size || msg.sender == config_.replica_index) return;
   switch (msg.type) {
     case PbftMessage::Type::kProposal: handle_proposal(msg); break;

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "curb/prof/profiler.hpp"
+
 namespace curb::bft {
 
 PbftReplica::PbftReplica(Config config, sim::Simulator& sim, SendFn send, DeliverFn deliver)
@@ -109,6 +111,7 @@ void PbftReplica::broadcast(const PbftMessage& msg) {
 }
 
 void PbftReplica::on_message(const PbftMessage& msg) {
+  const prof::Scope scope{"bft.pbft_msg"};
   if (msg.sender >= config_.group_size || msg.sender == config_.replica_index) return;
   switch (msg.type) {
     case PbftMessage::Type::kPrePrepare: handle_pre_prepare(msg); break;

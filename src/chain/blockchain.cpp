@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "curb/chain/serial.hpp"
+#include "curb/prof/profiler.hpp"
 
 namespace curb::chain {
 
@@ -19,6 +20,7 @@ Blockchain::Blockchain(Block genesis) {
 }
 
 std::optional<AppendError> Blockchain::append(const Block& block) {
+  const prof::Scope scope{"chain.append"};
   const auto reject = [this](AppendError err) {
     if (obs_ != nullptr) {
       obs_->metrics

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "curb/prof/profiler.hpp"
+
 namespace curb::crypto {
 
 Hash256 MerkleTree::combine(const Hash256& left, const Hash256& right) {
@@ -12,6 +14,7 @@ Hash256 MerkleTree::combine(const Hash256& left, const Hash256& right) {
 }
 
 MerkleTree::MerkleTree(std::vector<Hash256> leaves) : leaf_count_{leaves.size()} {
+  const prof::Scope scope{"crypto.merkle_build"};
   if (leaves.empty()) {
     levels_.push_back({Hash256{}});
     return;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "curb/prof/profiler.hpp"
+
 namespace curb::crypto {
 
 namespace secp256k1 {
@@ -260,6 +262,7 @@ KeyPair KeyPair::from_seed(std::string_view seed) {
 }
 
 KeyPair KeyPair::from_private(const U256& d) {
+  const prof::Scope scope{"crypto.keygen"};
   if (d.is_zero() || d >= secp256k1::group_order()) {
     throw std::invalid_argument{"KeyPair: private key out of range"};
   }
@@ -268,6 +271,7 @@ KeyPair KeyPair::from_private(const U256& d) {
 }
 
 Signature KeyPair::sign(const Hash256& digest) const {
+  const prof::Scope scope{"crypto.sign"};
   const U256 n = secp256k1::group_order();
   const U256 z = U256::reduce(U256::from_hash(digest), n);
 
@@ -293,6 +297,7 @@ Signature KeyPair::sign(const Hash256& digest) const {
 }
 
 bool verify(const PublicKey& pub, const Hash256& digest, const Signature& sig) {
+  const prof::Scope scope{"crypto.verify"};
   const U256 n = secp256k1::group_order();
   if (sig.r.is_zero() || sig.r >= n || sig.s.is_zero() || sig.s >= n) return false;
   if (!secp256k1::on_curve(pub.point)) return false;

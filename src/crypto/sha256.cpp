@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "curb/prof/profiler.hpp"
+
 namespace curb::crypto {
 
 namespace {
@@ -127,12 +129,14 @@ Hash256 Sha256::finish() {
 }
 
 Hash256 Sha256::digest(std::span<const std::uint8_t> data) {
+  const prof::Scope scope{"crypto.sha256"};
   Sha256 h;
   h.update(data);
   return h.finish();
 }
 
 Hash256 Sha256::digest(std::string_view data) {
+  const prof::Scope scope{"crypto.sha256"};
   Sha256 h;
   h.update(data);
   return h.finish();

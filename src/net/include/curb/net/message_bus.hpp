@@ -12,6 +12,7 @@
 #include "curb/net/link_model.hpp"
 #include "curb/net/topology.hpp"
 #include "curb/obs/observatory.hpp"
+#include "curb/prof/profiler.hpp"
 #include "curb/sim/simulator.hpp"
 #include "curb/sim/time.hpp"
 
@@ -123,6 +124,7 @@ class MessageBus {
   /// overhead delay (no propagation).
   void send(NodeId from, NodeId to, Payload payload, std::size_t bytes,
             const std::string& category) {
+    const prof::Scope scope{"bus.send"};
     stats_.record(category, bytes);
     sim::SimTime delay = model_.per_message_overhead + model_.transmission_delay(bytes);
     if (from != to) {
@@ -191,6 +193,7 @@ class MessageBus {
   };
 
   void deliver(NodeId from, NodeId to, const Payload& payload) {
+    const prof::Scope scope{"bus.deliver"};
     if (to.value >= handlers_.size()) return;  // no handler ever attached
     if (auto& handler = handlers_[to.value]) handler(from, payload);
   }

@@ -1,10 +1,11 @@
 #include "curb/opt/cap.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+
+#include "curb/prof/profiler.hpp"
 
 namespace curb::opt {
 
@@ -304,7 +305,8 @@ CapResult solve_cap(const CapInstance& inst, CapObjective objective,
   if (objective == CapObjective::kLeastMovement && previous == nullptr) {
     throw std::invalid_argument{"solve_cap: LCR objective requires a previous assignment"};
   }
-  const auto t0 = std::chrono::steady_clock::now();
+  const prof::Scope scope{"solver.cap"};
+  prof::StopWatch sw;
 
   LpProblem lp;
   // A_ij variables, created only for eligible pairs ([C2.3]/[C2.5] are
@@ -482,9 +484,7 @@ CapResult solve_cap(const CapInstance& inst, CapObjective objective,
     result.stats.used_greedy_fallback = true;
   }
 
-  const auto t1 = std::chrono::steady_clock::now();
-  result.stats.wall_time_ms =
-      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  result.stats.wall_time_ms = sw.elapsed_ms();
   return result;
 }
 

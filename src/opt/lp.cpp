@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "curb/prof/profiler.hpp"
+
 namespace curb::opt {
 
 int LpProblem::add_variable(double cost, double lower, double upper) {
@@ -369,6 +371,7 @@ class Simplex {
 }  // namespace
 
 LpSolution solve_lp(const LpProblem& problem, std::size_t max_iterations) {
+  const prof::Scope scope{"solver.lp"};
   return Simplex{problem, max_iterations}.solve();
 }
 

@@ -1,10 +1,11 @@
 #include "curb/opt/milp.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
+
+#include "curb/prof/profiler.hpp"
 
 namespace curb::opt {
 
@@ -57,20 +58,16 @@ MilpSolution MilpSolver::solve(const MilpOptions& options) {
   stack.push_back({});
 
   MilpSolution stats;
-  const auto start = std::chrono::steady_clock::now();
+  const prof::Scope scope{"solver.milp"};
+  prof::StopWatch sw;
   while (!stack.empty()) {
     if (stats.nodes_explored >= options.max_nodes) {
       best.hit_node_limit = true;
       break;
     }
-    if (options.max_wall_ms > 0.0) {
-      const double elapsed = std::chrono::duration<double, std::milli>(
-                                 std::chrono::steady_clock::now() - start)
-                                 .count();
-      if (elapsed > options.max_wall_ms) {
-        best.hit_time_limit = true;
-        break;
-      }
+    if (options.max_wall_ms > 0.0 && sw.elapsed_ms() > options.max_wall_ms) {
+      best.hit_time_limit = true;
+      break;
     }
     const Node node = std::move(stack.back());
     stack.pop_back();

@@ -1,0 +1,152 @@
+#pragma once
+
+// curb::prof — host-time profiling for the simulator itself.
+//
+// The obs layer measures *virtual* time: protocol latency on the simulated
+// clock. curb::prof measures where the process spends *wall-clock* time —
+// crypto, the OP solver, bus delivery, consensus handlers, the event loop —
+// as a hierarchical attribution tree built from scoped RAII timers.
+//
+// Instrumentation points construct a `Scope`, whose constructor is a single
+// thread-local pointer load and branch when no profiler is installed: the
+// same nullable-pointer discipline as the obs::Observatory* pattern, so the
+// disabled path allocates nothing and costs one predictable branch. Host
+// times never feed back into the virtual clock, so enabling profiling cannot
+// change protocol outputs — same-seed runs stay byte-identical.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace curb::prof {
+
+/// Monotonic host clock, nanoseconds since an arbitrary epoch.
+[[nodiscard]] inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Always-on explicit wall-clock timer: the one timing idiom for code that
+/// needs a duration *functionally* (solver time limits, measured OP latency,
+/// bench host sections) whether or not a profiler is installed.
+class StopWatch {
+ public:
+  StopWatch() : start_ns_{now_ns()} {}
+
+  void restart() { start_ns_ = now_ns(); }
+  [[nodiscard]] std::uint64_t elapsed_ns() const { return now_ns() - start_ns_; }
+  [[nodiscard]] double elapsed_ms() const {
+    return static_cast<double>(elapsed_ns()) / 1e6;
+  }
+  /// Elapsed time and restart in one step (per-lap measurements).
+  [[nodiscard]] double lap_ms() {
+    const std::uint64_t now = now_ns();
+    const double ms = static_cast<double>(now - start_ns_) / 1e6;
+    start_ns_ = now;
+    return ms;
+  }
+
+ private:
+  std::uint64_t start_ns_;
+};
+
+/// Hierarchical host-time attribution tree. Each node is one label in one
+/// calling context: entering "crypto.verify" under "bft.pbft_msg" and under
+/// "chain.append" produces two distinct nodes with the same label. Nodes
+/// accumulate call counts and inclusive nanoseconds; exclusive time is
+/// derived (inclusive minus children) at export.
+///
+/// The profiler is single-threaded by design — one instance per thread,
+/// reached through the thread-local installation below — which matches the
+/// deterministic single-threaded simulator and keeps enter/leave lock-free.
+class Profiler {
+ public:
+  struct Node {
+    std::string label;
+    std::uint32_t parent = 0;  // index into nodes(); the root is its own parent
+    std::uint64_t calls = 0;
+    std::uint64_t inclusive_ns = 0;
+    std::vector<std::uint32_t> children;  // first-entry order
+  };
+
+  Profiler() { clear(); }
+
+  /// Open a frame labelled `label` under the current frame. Returns the node
+  /// index the matching leave() must pass back.
+  std::uint32_t enter(std::string_view label);
+
+  /// Close a frame, attributing `elapsed_ns` to it. Tolerates out-of-order
+  /// closure (exception unwinding closes the innermost frames first anyway)
+  /// by popping until the frame is found.
+  void leave(std::uint32_t node, std::uint64_t elapsed_ns);
+
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  /// Number of frames currently open (0 = balanced).
+  [[nodiscard]] std::size_t depth() const { return stack_.size() - 1; }
+
+  /// Self time of a node: inclusive minus the children's inclusive time,
+  /// clamped at zero (clock granularity can make children sum slightly past
+  /// the parent).
+  [[nodiscard]] std::uint64_t exclusive_ns(std::uint32_t node) const;
+
+  /// Total measured time: the root's children's inclusive time. Equals the
+  /// sum of every node's exclusive time.
+  [[nodiscard]] std::uint64_t total_ns() const;
+
+  /// Exclusive nanoseconds aggregated by component — the label prefix before
+  /// the first '.' ("crypto.sign" -> "crypto"). Deterministic (sorted) order.
+  [[nodiscard]] std::map<std::string, std::uint64_t> exclusive_by_component() const;
+
+  /// Total calls recorded for `label` across all contexts (0 if never seen).
+  [[nodiscard]] std::uint64_t calls(std::string_view label) const;
+
+  void clear();
+
+ private:
+  std::vector<Node> nodes_;            // nodes_[0] is the synthetic root
+  std::vector<std::uint32_t> stack_;   // open path; back() = current frame
+};
+
+/// The calling thread's installed profiler, or nullptr when profiling is off.
+[[nodiscard]] Profiler* thread_profiler();
+/// Install (or, with nullptr, uninstall) the calling thread's profiler.
+void set_thread_profiler(Profiler* profiler);
+
+/// RAII install/uninstall of a thread profiler, for mains and tests.
+class Session {
+ public:
+  explicit Session(Profiler& profiler) { set_thread_profiler(&profiler); }
+  ~Session() { set_thread_profiler(nullptr); }
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+};
+
+/// Scoped attribution timer. When no profiler is installed the constructor
+/// is one thread-local load and branch and the destructor one branch.
+class Scope {
+ public:
+  explicit Scope(std::string_view label) {
+    Profiler* p = thread_profiler();
+    if (p == nullptr) return;
+    profiler_ = p;
+    node_ = p->enter(label);
+    start_ns_ = now_ns();
+  }
+  ~Scope() {
+    if (profiler_ != nullptr) profiler_->leave(node_, now_ns() - start_ns_);
+  }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  Profiler* profiler_ = nullptr;
+  std::uint32_t node_ = 0;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace curb::prof

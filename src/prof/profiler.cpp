@@ -1,0 +1,92 @@
+#include "curb/prof/profiler.hpp"
+
+#include <algorithm>
+
+namespace curb::prof {
+
+namespace {
+thread_local Profiler* t_profiler = nullptr;
+}  // namespace
+
+Profiler* thread_profiler() { return t_profiler; }
+
+void set_thread_profiler(Profiler* profiler) { t_profiler = profiler; }
+
+void Profiler::clear() {
+  nodes_.clear();
+  nodes_.push_back(Node{});  // synthetic root, parent 0 (itself)
+  stack_.assign(1, 0);
+}
+
+std::uint32_t Profiler::enter(std::string_view label) {
+  const std::uint32_t parent = stack_.back();
+  // Linear scan: fan-out per context is a handful of labels at most, and the
+  // children vector stays cache-resident — a map would cost more.
+  for (const std::uint32_t child : nodes_[parent].children) {
+    if (nodes_[child].label == label) {
+      stack_.push_back(child);
+      return child;
+    }
+  }
+  const auto index = static_cast<std::uint32_t>(nodes_.size());
+  Node node;
+  node.label = std::string{label};
+  node.parent = parent;
+  nodes_.push_back(std::move(node));
+  nodes_[parent].children.push_back(index);
+  stack_.push_back(index);
+  return index;
+}
+
+void Profiler::leave(std::uint32_t node, std::uint64_t elapsed_ns) {
+  if (node == 0 || node >= nodes_.size()) return;
+  nodes_[node].calls += 1;
+  nodes_[node].inclusive_ns += elapsed_ns;
+  // Normally node is the top of the stack; pop to (and including) it wherever
+  // it is so a skipped leave cannot wedge the attribution path.
+  for (std::size_t i = stack_.size(); i-- > 1;) {
+    if (stack_[i] == node) {
+      stack_.resize(i);
+      return;
+    }
+  }
+}
+
+std::uint64_t Profiler::exclusive_ns(std::uint32_t node) const {
+  const Node& n = nodes_.at(node);
+  std::uint64_t children_ns = 0;
+  for (const std::uint32_t child : n.children) {
+    children_ns += nodes_[child].inclusive_ns;
+  }
+  return n.inclusive_ns > children_ns ? n.inclusive_ns - children_ns : 0;
+}
+
+std::uint64_t Profiler::total_ns() const {
+  std::uint64_t total = 0;
+  for (const std::uint32_t child : nodes_[0].children) {
+    total += nodes_[child].inclusive_ns;
+  }
+  return total;
+}
+
+std::map<std::string, std::uint64_t> Profiler::exclusive_by_component() const {
+  std::map<std::string, std::uint64_t> out;
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+    const std::uint64_t self = exclusive_ns(i);
+    if (self == 0) continue;
+    const std::string& label = nodes_[i].label;
+    const std::size_t dot = label.find('.');
+    out[dot == std::string::npos ? label : label.substr(0, dot)] += self;
+  }
+  return out;
+}
+
+std::uint64_t Profiler::calls(std::string_view label) const {
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+    if (nodes_[i].label == label) total += nodes_[i].calls;
+  }
+  return total;
+}
+
+}  // namespace curb::prof

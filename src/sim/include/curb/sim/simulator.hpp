@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "curb/prof/profiler.hpp"
 #include "curb/sim/rng.hpp"
 #include "curb/sim/time.hpp"
 
@@ -74,6 +75,7 @@ class Simulator {
   /// Run events with time <= deadline; the clock ends at
   /// min(deadline, last event time). Returns events executed.
   std::size_t run_until(SimTime deadline) {
+    const prof::Scope run_scope{"sim.run"};
     std::size_t executed = 0;
     while (!queue_.empty()) {
       const Event& top = queue_.top();
@@ -83,7 +85,10 @@ class Simulator {
       --pending_;
       if (is_cancelled(ev.id)) continue;
       now_ = ev.when;
-      ev.fn();
+      {
+        const prof::Scope event_scope{"sim.event"};
+        ev.fn();
+      }
       ++executed;
       ++executed_total_;
       if (executed >= max_events_) {
@@ -102,7 +107,10 @@ class Simulator {
       --pending_;
       if (is_cancelled(ev.id)) continue;
       now_ = ev.when;
-      ev.fn();
+      {
+        const prof::Scope event_scope{"sim.event"};
+        ev.fn();
+      }
       ++executed_total_;
       return true;
     }

@@ -1,0 +1,145 @@
+// curb-prof: host-time profile reports and bench regression gating.
+//
+//   curb-prof report    <profile.folded> [--top N]
+//   curb-prof perf-diff <base.json> <candidate.json> [--json]
+//                       [--threshold PCT] [--host-threshold PCT]
+//                       [--floor ABS] [--warn-only]
+//
+// `report` renders a collapsed-stack profile (CURB_PROF=FILE on any bench
+// binary, or curb-sim --prof FILE) as a per-component share table plus the
+// top-N self-time frames. `perf-diff` compares two BENCH_results.json files
+// metric by metric and exits 1 when a virtual-time metric regressed past the
+// threshold (host.* metrics only ever warn — they measure the machine, not
+// the protocol). Exit codes: 0 ok, 1 regression, 2 usage/parse error.
+//
+// Example:
+//   CURB_PROF=run.folded ./build/bench/bench_fig5_pktin
+//   curb-prof report run.folded
+//   curb-prof perf-diff BENCH_baseline.json BENCH_results.json
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "curb/prof/bench_diff.hpp"
+#include "curb/prof/export.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s report    <profile.folded> [--top N]\n"
+               "       %s perf-diff <base.json> <candidate.json> [--json]\n"
+               "                    [--threshold PCT] [--host-threshold PCT]\n"
+               "                    [--floor ABS] [--warn-only]\n",
+               argv0, argv0);
+  std::exit(2);
+}
+
+double parse_double(const char* argv0, const char* text) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "%s: bad number '%s'\n", argv0, text);
+    std::exit(2);
+  }
+  return value;
+}
+
+int run_report(const char* argv0, const std::vector<std::string>& args) {
+  if (args.empty()) usage(argv0);
+  std::string path;
+  std::size_t top_n = 20;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--top") {
+      if (i + 1 >= args.size()) usage(argv0);
+      top_n = static_cast<std::size_t>(parse_double(argv0, args[++i].c_str()));
+    } else if (path.empty()) {
+      path = args[i];
+    } else {
+      usage(argv0);
+    }
+  }
+  if (path.empty()) usage(argv0);
+  std::ifstream in{path};
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open %s\n", argv0, path.c_str());
+    return 2;
+  }
+  try {
+    const std::vector<curb::prof::FoldedLine> lines = curb::prof::parse_collapsed(in);
+    curb::prof::write_profile_report(lines, std::cout, top_n);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s: %s\n", argv0, path.c_str(), e.what());
+    return 2;
+  }
+  return 0;
+}
+
+std::vector<curb::prof::BenchEntry> load_bench(const char* argv0,
+                                               const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open %s\n", argv0, path.c_str());
+    std::exit(2);
+  }
+  try {
+    return curb::prof::parse_bench_json(in);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s: %s\n", argv0, path.c_str(), e.what());
+    std::exit(2);
+  }
+}
+
+int run_perf_diff(const char* argv0, const std::vector<std::string>& args) {
+  std::vector<std::string> paths;
+  curb::prof::PerfDiffOptions options;
+  bool as_json = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--json") {
+      as_json = true;
+    } else if (args[i] == "--threshold") {
+      if (i + 1 >= args.size()) usage(argv0);
+      options.threshold_pct = parse_double(argv0, args[++i].c_str());
+    } else if (args[i] == "--host-threshold") {
+      if (i + 1 >= args.size()) usage(argv0);
+      options.host_threshold_pct = parse_double(argv0, args[++i].c_str());
+    } else if (args[i] == "--floor") {
+      if (i + 1 >= args.size()) usage(argv0);
+      options.floor = parse_double(argv0, args[++i].c_str());
+    } else if (args[i] == "--warn-only") {
+      options.warn_only = true;
+    } else if (args[i].rfind("--", 0) == 0) {
+      usage(argv0);
+    } else {
+      paths.push_back(args[i]);
+    }
+  }
+  if (paths.size() != 2) usage(argv0);
+  const auto base = load_bench(argv0, paths[0]);
+  const auto candidate = load_bench(argv0, paths[1]);
+  const curb::prof::PerfDiffResult diff =
+      curb::prof::perf_diff(base, candidate, options);
+  if (as_json) {
+    curb::prof::write_perf_diff_json(diff, std::cout);
+  } else {
+    curb::prof::write_perf_diff_text(diff, std::cout);
+  }
+  return diff.regressions() > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage(argv[0]);
+  const std::string command = argv[1];
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+  if (command == "report") return run_report(argv[0], args);
+  if (command == "perf-diff") return run_perf_diff(argv[0], args);
+  usage(argv[0]);
+}

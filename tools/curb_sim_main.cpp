@@ -24,6 +24,9 @@
 //                                    "drop(p=0.05,cat=REPLY);crash(node=ctrl1,at=500)")
 //     --fault-seed S                (fault schedule seed, default 1; same
 //                                    (seed, spec) reproduces the same run)
+//     --prof FILE                   (host-time profile, collapsed-stack format;
+//                                    feed into flamegraph.pl or curb-prof report)
+//     --prof-chrome FILE            (host-time profile as Chrome trace JSON)
 //
 // Example: curb-sim --engine hotstuff --rounds 10 --load 3 --csv
 // Example: curb-sim --rounds 5 --trace t.json --metrics-out m.json
@@ -39,6 +42,8 @@
 #include "curb/obs/analysis.hpp"
 #include "curb/obs/export.hpp"
 #include "curb/obs/report.hpp"
+#include "curb/prof/export.hpp"
+#include "curb/prof/profiler.hpp"
 
 #include <iostream>
 
@@ -66,6 +71,12 @@ struct CliOptions {
   bool phase_report = false;
   std::string fault_spec;
   std::uint64_t fault_seed = 1;
+  std::string prof_file;
+  std::string prof_chrome_file;
+
+  [[nodiscard]] bool profiling() const {
+    return !prof_file.empty() || !prof_chrome_file.empty();
+  }
 
   [[nodiscard]] bool observability() const {
     return phase_report || !trace_file.empty() || !trace_jsonl_file.empty() ||
@@ -81,7 +92,8 @@ struct CliOptions {
                "          [--dcs MS] [--overhead MS] [--reassign] [--csv]\n"
                "          [--trace FILE] [--trace-jsonl FILE]\n"
                "          [--metrics-out FILE] [--metrics-csv FILE] [--phase-report]\n"
-               "          [--fault SPEC] [--fault-seed S]\n",
+               "          [--fault SPEC] [--fault-seed S]\n"
+               "          [--prof FILE] [--prof-chrome FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -115,6 +127,8 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--phase-report") opts.phase_report = true;
     else if (arg == "--fault") opts.fault_spec = value();
     else if (arg == "--fault-seed") opts.fault_seed = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--prof") opts.prof_file = value();
+    else if (arg == "--prof-chrome") opts.prof_chrome_file = value();
     else usage(argv[0]);
   }
   return opts;
@@ -152,6 +166,13 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  // Host-time profiling: installed before the simulation is built so setup
+  // (keygen, topology, genesis) is attributed too. Host time never touches
+  // the virtual clock, so --prof cannot change the run's outputs.
+  curb::prof::Profiler profiler;
+  curb::prof::StopWatch wall;
+  if (cli.profiling()) curb::prof::set_thread_profiler(&profiler);
 
   auto topology = cli.topology == "random"
                       ? curb::net::random_geo_topology(cli.controllers, cli.switches,
@@ -226,6 +247,36 @@ int main(int argc, char** argv) {
     }
     if (!ok) return 1;
   }
+  if (cli.profiling()) {
+    curb::prof::set_thread_profiler(nullptr);
+    bool ok = true;
+    std::string written;
+    if (!cli.prof_file.empty()) {
+      if (curb::prof::export_collapsed(profiler, cli.prof_file)) {
+        written = cli.prof_file;
+      } else {
+        std::fprintf(stderr, "curb-sim: cannot write %s\n", cli.prof_file.c_str());
+        ok = false;
+      }
+    }
+    if (!cli.prof_chrome_file.empty()) {
+      if (curb::prof::export_chrome_profile(profiler, cli.prof_chrome_file)) {
+        if (!written.empty()) written += ", ";
+        written += cli.prof_chrome_file;
+      } else {
+        std::fprintf(stderr, "curb-sim: cannot write %s\n",
+                     cli.prof_chrome_file.c_str());
+        ok = false;
+      }
+    }
+    const double wall_s = wall.elapsed_ms() / 1000.0;
+    const double events = static_cast<double>(sim.network().simulator().events_executed());
+    std::fprintf(stderr, "host: wall=%.2fs events/s=%.0f profile written to %s\n",
+                 wall_s, wall_s > 0.0 ? events / wall_s : 0.0,
+                 written.empty() ? "(none)" : written.c_str());
+    if (!ok) return 1;
+  }
+
   // Clean runs must end fully converged (equal tips). A faulted run may
   // legitimately stop with live controllers lagging (deliveries still in
   // flight) or crashed without recovery, so only a genuine fork — diverging
