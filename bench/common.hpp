@@ -117,6 +117,21 @@ inline bool obs_enabled_from_env() {
          std::getenv("CURB_BENCH_OUT") != nullptr;
 }
 
+/// Environment-driven solver selection: set CURB_SOLVER to
+/// dense|sparse|heuristic to rerun any bench binary with a different OP()
+/// backend without recompiling. Unset keeps the byte-stable dense baseline.
+inline void apply_solver_env(core::CurbOptions& opts) {
+  const char* name = std::getenv("CURB_SOLVER");
+  if (name == nullptr || *name == '\0') return;
+  if (const auto backend = opt::parse_cap_solver_backend(name)) {
+    opts.op_solver = *backend;
+  } else {
+    std::fprintf(stderr, "bench: unknown CURB_SOLVER '%s' (want dense|sparse|heuristic)\n",
+                 name);
+    std::exit(2);
+  }
+}
+
 /// Environment-driven fault injection: set CURB_FAULT to a curb::fault spec
 /// string (and optionally CURB_FAULT_SEED) to run any bench binary under a
 /// deterministic fault schedule without recompiling, e.g.
@@ -151,6 +166,7 @@ inline core::CurbOptions paper_options() {
   opts.max_silent_rounds = 3;
   opts.op_time_mode = core::OpTimeMode::kMeasured;
   opts.observability = obs_enabled_from_env();
+  apply_solver_env(opts);
   apply_fault_env(opts);
   return opts;
 }

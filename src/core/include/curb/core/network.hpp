@@ -16,6 +16,7 @@
 #include "curb/net/topology.hpp"
 #include "curb/obs/observatory.hpp"
 #include "curb/opt/cap.hpp"
+#include "curb/opt/solver.hpp"
 #include "curb/sdn/flow.hpp"
 #include "curb/sim/simulator.hpp"
 
@@ -103,12 +104,15 @@ class CurbNetwork {
   /// Live controller with the tallest chain (lowest id breaks ties);
   /// nullptr when every controller is down.
   [[nodiscard]] Controller* pick_recovery_donor() const;
+  /// Long-lived OP() solver for options_.op_solver, created on first use.
+  [[nodiscard]] opt::CapSolver& cap_solver();
 
   AssignmentState genesis_state_;
   std::unique_ptr<chain::Block> genesis_block_;
   bool initialized_ = false;
   std::unique_ptr<obs::Observatory> observatory_;
   std::unique_ptr<fault::FaultInjector> fault_injector_;
+  std::unique_ptr<opt::CapSolver> cap_solver_;
 };
 
 }  // namespace curb::core

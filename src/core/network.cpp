@@ -190,15 +190,25 @@ opt::CapInstance CurbNetwork::build_cap_instance(
   return inst;
 }
 
+opt::CapSolver& CurbNetwork::cap_solver() {
+  if (cap_solver_ == nullptr) {
+    opt::CapSolverOptions solver_options;
+    solver_options.milp.max_wall_ms = options_.op_wall_limit_ms;
+    // The protocol threads `previous` explicitly through every reassignment;
+    // never substitute the cached assignment behind its back.
+    solver_options.reuse_last_assignment = false;
+    cap_solver_ = opt::make_cap_solver(options_.op_solver, solver_options);
+  }
+  return *cap_solver_;
+}
+
 void CurbNetwork::solve_op_async(const opt::CapInstance& instance,
                                  opt::CapObjective objective,
                                  const opt::Assignment* previous,
                                  std::function<void(opt::CapResult)> done) {
   // The solve runs inline (as Gurobi does on the paper's controllers); its
   // cost enters the virtual clock per the configured mode.
-  opt::MilpOptions milp_options;
-  milp_options.max_wall_ms = options_.op_wall_limit_ms;
-  opt::CapResult result = opt::solve_cap(instance, objective, previous, milp_options);
+  opt::CapResult result = cap_solver().solve(instance, objective, previous);
   const sim::SimTime delay = options_.op_time_mode == OpTimeMode::kMeasured
                                  ? sim::SimTime::from_seconds_f(
                                        result.stats.wall_time_ms / 1000.0)
@@ -271,10 +281,8 @@ void CurbNetwork::initialize() {
   // the same wall budget as runtime reassignments (the greedy incumbent is
   // returned if branch-and-bound cannot prove optimality in time).
   const opt::CapInstance instance = build_cap_instance({});
-  opt::MilpOptions milp_options;
-  milp_options.max_wall_ms = options_.op_wall_limit_ms;
   const opt::CapResult result =
-      opt::solve_cap(instance, opt::CapObjective::kTrivial, nullptr, milp_options);
+      cap_solver().solve(instance, opt::CapObjective::kTrivial, nullptr);
   if (!result.feasible) {
     throw std::runtime_error{"CurbNetwork: initial controller assignment infeasible"};
   }

@@ -26,20 +26,37 @@ CapInstance CapInstance::uniform(std::size_t switches, std::size_t controllers,
 }
 
 void CapInstance::validate() const {
-  auto fail = [](const char* what) { throw std::invalid_argument{what}; };
+  auto fail = [](const std::string& what) { throw std::invalid_argument{what}; };
+  auto fail_row = [&fail](const char* matrix, std::size_t row, std::size_t got,
+                          std::size_t want) {
+    fail("CapInstance: " + std::string{matrix} + " row " + std::to_string(row) +
+         " has " + std::to_string(got) + " columns, expected " + std::to_string(want));
+  };
   if (group_size.size() != num_switches) fail("CapInstance: group_size size");
   if (switch_load.size() != num_switches) fail("CapInstance: switch_load size");
   if (controller_capacity.size() != num_controllers) {
     fail("CapInstance: controller_capacity size");
   }
   if (cs_delay.size() != num_switches) fail("CapInstance: cs_delay rows");
-  for (const auto& row : cs_delay) {
-    if (row.size() != num_controllers) fail("CapInstance: cs_delay cols");
+  for (std::size_t i = 0; i < cs_delay.size(); ++i) {
+    // Ragged rows would silently misindex in the solvers; reject every one,
+    // not just those a currently-enabled constraint happens to read.
+    if (cs_delay[i].size() != num_controllers) {
+      fail_row("cs_delay", i, cs_delay[i].size(), num_controllers);
+    }
   }
-  if (max_cc_delay != kNoLimit) {
+  // cc_delay may be omitted entirely when the C2C constraint is disabled,
+  // but a present matrix must be square even then — callers (and a later
+  // flip of max_cc_delay) index it as num_controllers x num_controllers.
+  if (max_cc_delay != kNoLimit && cc_delay.size() != num_controllers) {
+    fail("CapInstance: cc_delay rows");
+  }
+  if (!cc_delay.empty()) {
     if (cc_delay.size() != num_controllers) fail("CapInstance: cc_delay rows");
-    for (const auto& row : cc_delay) {
-      if (row.size() != num_controllers) fail("CapInstance: cc_delay cols");
+    for (std::size_t j = 0; j < cc_delay.size(); ++j) {
+      if (cc_delay[j].size() != num_controllers) {
+        fail_row("cc_delay", j, cc_delay[j].size(), num_controllers);
+      }
     }
   }
   if (!byzantine.empty() && byzantine.size() != num_controllers) {
@@ -48,8 +65,22 @@ void CapInstance::validate() const {
   if (!fixed_leader.empty() && fixed_leader.size() != num_switches) {
     fail("CapInstance: fixed_leader size");
   }
+  for (std::size_t i = 0; i < fixed_leader.size(); ++i) {
+    if (fixed_leader[i] &&
+        (*fixed_leader[i] < 0 ||
+         static_cast<std::size_t>(*fixed_leader[i]) >= num_controllers)) {
+      fail("CapInstance: fixed_leader[" + std::to_string(i) + "] = " +
+           std::to_string(*fixed_leader[i]) + " out of controller range");
+    }
+  }
   for (std::size_t i = 0; i < num_switches; ++i) {
     if (group_size[i] < 1) fail("CapInstance: group_size must be >= 1");
+    if (switch_load[i] < 0.0) fail("CapInstance: switch_load must be >= 0");
+  }
+  for (std::size_t j = 0; j < num_controllers; ++j) {
+    if (controller_capacity[j] < 0.0) {
+      fail("CapInstance: controller_capacity must be >= 0");
+    }
   }
 }
 
@@ -108,6 +139,25 @@ double Assignment::pdl(const Assignment& before, const Assignment& after) {
   const std::size_t denom = before.total_links() + added;
   if (denom == 0) return 0.0;
   return static_cast<double>(removed + added) / static_cast<double>(denom);
+}
+
+double cap_objective_value(const Assignment& assignment, CapObjective objective,
+                           const Assignment* previous) {
+  double value = static_cast<double>(assignment.controllers_used());
+  if (objective == CapObjective::kLeastMovement) {
+    if (previous == nullptr) {
+      throw std::invalid_argument{
+          "cap_objective_value: LCR objective requires a previous assignment"};
+    }
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < assignment.num_switches(); ++i) {
+      for (std::size_t j = 0; j < assignment.num_controllers(); ++j) {
+        if (assignment.assigned(i, j) != previous->assigned(i, j)) ++changed;
+      }
+    }
+    value += static_cast<double>(changed);
+  }
+  return value;
 }
 
 bool Assignment::feasible_for(const CapInstance& inst) const {
@@ -300,7 +350,8 @@ std::optional<Assignment> repair_assign(const CapInstance& inst, const Assignmen
 }
 
 CapResult solve_cap(const CapInstance& inst, CapObjective objective,
-                    const Assignment* previous, const MilpOptions& milp_options) {
+                    const Assignment* previous, const MilpOptions& milp_options,
+                    bool seed_incumbent_from_previous) {
   inst.validate();
   if (objective == CapObjective::kLeastMovement && previous == nullptr) {
     throw std::invalid_argument{"solve_cap: LCR objective requires a previous assignment"};
@@ -351,7 +402,10 @@ CapResult solve_cap(const CapInstance& inst, CapObjective objective,
     if (static_cast<int>(terms.size()) < inst.group_size[i]) {
       // Not enough eligible controllers: trivially infeasible.
       CapResult r;
+      r.stats.backend =
+          milp_options.lp_backend == LpBackend::kSparse ? "sparse" : "dense";
       r.stats.wall_time_ms = 0.0;
+      r.stats.proven = true;
       return r;
     }
     lp.add_constraint(std::move(terms), LpProblem::Sense::kGe,
@@ -418,29 +472,36 @@ CapResult solve_cap(const CapInstance& inst, CapObjective objective,
     const int v = a_var[i][static_cast<std::size_t>(*leader)];
     if (v < 0) {
       CapResult r;  // leader not eligible: infeasible
+      r.stats.backend =
+          milp_options.lp_backend == LpBackend::kSparse ? "sparse" : "dense";
+      r.stats.proven = true;
       return r;
     }
     lp.set_bounds(v, 1.0, 1.0);
   }
 
-  // Warm start.
+  // Warm start: repair the previous assignment for LCR, greedy otherwise.
+  // With seed_incumbent_from_previous, a kTrivial re-solve also repairs the
+  // previous assignment and keeps whichever incumbent scores better —
+  // reassignment instances barely move, so the repair usually wins.
   std::optional<Assignment> warm =
       (objective == CapObjective::kLeastMovement && previous != nullptr)
           ? repair_assign(inst, *previous)
           : greedy_assign(inst);
+  if (seed_incumbent_from_previous && objective == CapObjective::kTrivial &&
+      previous != nullptr) {
+    std::optional<Assignment> repaired = repair_assign(inst, *previous);
+    if (repaired &&
+        (!warm || repaired->controllers_used() < warm->controllers_used())) {
+      warm = std::move(repaired);
+    }
+  }
   MilpOptions options = milp_options;
   double warm_objective = 0.0;
   if (warm) {
-    warm_objective = static_cast<double>(warm->controllers_used());
-    if (objective == CapObjective::kLeastMovement) {
-      std::size_t changed = 0;
-      for (std::size_t i = 0; i < inst.num_switches; ++i) {
-        for (std::size_t j = 0; j < inst.num_controllers; ++j) {
-          if (warm->assigned(i, j) != previous->assigned(i, j)) ++changed;
-        }
-      }
-      warm_objective += static_cast<double>(changed);
-    }
+    warm_objective = cap_objective_value(
+        *warm, objective,
+        objective == CapObjective::kLeastMovement ? previous : nullptr);
     // The MILP objective omits lcr_constant; convert the incumbent to match.
     options.incumbent_objective = warm_objective - lcr_constant;
   }
@@ -458,10 +519,14 @@ CapResult solve_cap(const CapInstance& inst, CapObjective objective,
   const MilpSolution milp = solver.solve(options);
 
   CapResult result;
+  result.stats.backend =
+      milp_options.lp_backend == LpBackend::kSparse ? "sparse" : "dense";
   result.stats.milp_nodes = milp.nodes_explored;
   result.stats.lp_iterations = milp.lp_iterations;
+  result.stats.lp_warm_hits = milp.lp_warm_hits;
   result.stats.num_variables = binaries.size();
   result.stats.num_constraints = num_constraints;
+  result.stats.proven = !milp.hit_node_limit && !milp.hit_time_limit;
 
   if (milp.status == LpStatus::kOptimal) {
     result.feasible = true;

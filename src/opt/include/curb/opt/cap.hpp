@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <limits>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "curb/opt/milp.hpp"
@@ -94,12 +95,24 @@ class Assignment {
 enum class CapObjective { kTrivial, kLeastMovement };
 
 struct CapSolveStats {
+  /// Which backend produced the result ("dense", "sparse", "heuristic").
+  std::string backend = "dense";
   std::size_t milp_nodes = 0;
   std::size_t lp_iterations = 0;
+  /// B&B nodes whose LP relaxation resumed from the cached parent basis
+  /// (sparse backend only).
+  std::size_t lp_warm_hits = 0;
   std::size_t num_variables = 0;
   std::size_t num_constraints = 0;
   double wall_time_ms = 0.0;
   bool used_greedy_fallback = false;
+  /// True when branch-and-bound ran to completion within its limits, so the
+  /// result is a proven optimum (or a proven infeasibility). False for the
+  /// heuristic backend and for limit-truncated exact searches, whose answer
+  /// is only the best known. A fallback result can still be proven: the
+  /// search exhausting the tree without beating the warm incumbent is
+  /// exactly the proof that the incumbent was optimal.
+  bool proven = false;
 };
 
 struct CapResult {
@@ -109,14 +122,29 @@ struct CapResult {
   CapSolveStats stats;
 };
 
+/// Objective value an assignment scores under the paper's OP() objectives:
+/// controllers used [O2], plus — for kLeastMovement — the number of links
+/// changed versus `previous` [O3].
+[[nodiscard]] double cap_objective_value(const Assignment& assignment,
+                                         CapObjective objective,
+                                         const Assignment* previous = nullptr);
+
 /// Exact OP() solver: builds the MILP (with the standard linearisations of
 /// the quadratic C2C constraint and of the LCR |A - a| objective) and solves
 /// it by branch-and-bound, warm-started with the greedy heuristic.
 /// `previous` is required for CapObjective::kLeastMovement.
+///
+/// `seed_incumbent_from_previous` additionally repairs `previous` into a
+/// warm incumbent for kTrivial solves (reassignment is near-incremental by
+/// construction, so the repair usually dominates the greedy). Off by
+/// default: the incumbent influences which of several optimal assignments
+/// branch-and-bound returns, and the dense baseline path must stay
+/// byte-for-byte reproducible.
 [[nodiscard]] CapResult solve_cap(const CapInstance& instance,
                                   CapObjective objective = CapObjective::kTrivial,
                                   const Assignment* previous = nullptr,
-                                  const MilpOptions& milp_options = {});
+                                  const MilpOptions& milp_options = {},
+                                  bool seed_incumbent_from_previous = false);
 
 /// Greedy construction heuristic (also the warm start and an ablation
 /// baseline): repeatedly pick the controller that covers the most unmet

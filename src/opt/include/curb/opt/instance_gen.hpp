@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+#include "curb/opt/cap.hpp"
+
+namespace curb::opt {
+
+/// Profile for the seeded random CapInstance generator used by the
+/// differential solver tests, the corpus tool and the scale benches.
+/// Deterministic: the same profile always yields the same instance, on any
+/// toolchain (sim::Rng, not std distributions).
+struct GenProfile {
+  std::size_t switches = 12;
+  std::size_t controllers = 6;
+  /// f in the paper's B_i = 3f+1 group size; 0 gives singleton groups.
+  int faults_tolerated = 1;
+  /// Capacity headroom: 1.0 leaves capacities barely above the aggregate
+  /// requirement (tight — the solver must pack well), larger values loosen.
+  /// Values well below 1.0 usually make the instance infeasible on purpose.
+  double capacity_slack = 1.5;
+  /// Impose max_cs_delay, chosen so every switch keeps at least B_i + 2
+  /// eligible controllers (tight but not trivially infeasible).
+  bool cs_delay_cap = false;
+  /// Impose max_cc_delay (the quadratic constraint family).
+  bool cc_delay_cap = false;
+  /// Fraction of controllers flagged byzantine (never so many that fewer
+  /// than B_i + 1 honest controllers remain).
+  double byzantine_frac = 0.0;
+  /// Fraction of switches with a fixed leader (their nearest eligible
+  /// controller).
+  double fixed_leader_frac = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a CapInstance on planar geometry: switches and controllers are
+/// uniform points in a square, delays are Euclidean distances. The result
+/// always passes CapInstance::validate(); feasibility depends on the
+/// profile (capacity_slack < 1 is the intended way to produce infeasible
+/// instances).
+[[nodiscard]] CapInstance generate_instance(const GenProfile& profile);
+
+}  // namespace curb::opt

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "curb/opt/cap.hpp"
+
+namespace curb::opt {
+
+/// A CapInstance plus optional ground truth, as stored in the committed
+/// golden corpus (tests/opt/corpus/*.json) and in the fuzz-failure dumps the
+/// differential tests write for CI to upload.
+struct StoredInstance {
+  std::string name;
+  CapInstance instance;
+  /// Known optimal TCR objective (controllers used), when proven.
+  std::optional<double> tcr_optimum;
+  /// Whether the instance is feasible at all, when known.
+  std::optional<bool> feasible;
+};
+
+/// Serializes to a stable, human-diffable JSON document. Infinite delay caps
+/// are written as null; absent fixed leaders as -1.
+[[nodiscard]] std::string instance_to_json(const StoredInstance& stored);
+
+/// Parses a document produced by instance_to_json (throws std::runtime_error
+/// on malformed JSON, std::invalid_argument on inconsistent dimensions —
+/// the loaded instance is validate()d before it is returned).
+[[nodiscard]] StoredInstance instance_from_json(const std::string& text);
+
+/// File convenience wrappers. load throws on unreadable files; save returns
+/// false on write failure.
+[[nodiscard]] StoredInstance load_instance(const std::string& path);
+bool save_instance(const StoredInstance& stored, const std::string& path);
+
+}  // namespace curb::opt

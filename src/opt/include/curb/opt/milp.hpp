@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -15,8 +16,21 @@ struct MilpSolution {
   std::vector<double> values;
   std::size_t nodes_explored = 0;
   std::size_t lp_iterations = 0;
+  /// Nodes whose LP relaxation resumed from the cached parent basis without
+  /// a phase-1 pass (sparse backend only; the dense tableau is stateless).
+  std::size_t lp_warm_hits = 0;
   bool hit_node_limit = false;
   bool hit_time_limit = false;
+};
+
+/// Which simplex implementation solves the node relaxations.
+enum class LpBackend : std::uint8_t {
+  /// Dense two-phase tableau (lp.cpp). O(m * (n + 2m)) per pivot and the
+  /// whole tableau in memory — the right choice only at paper scale.
+  kDense,
+  /// Sparse revised simplex (sparse_lp.hpp) with a persistent basis shared
+  /// across branch-and-bound nodes, so most child nodes skip phase 1.
+  kSparse,
 };
 
 struct MilpOptions {
@@ -34,6 +48,8 @@ struct MilpOptions {
   /// before pruning, cutting the tree substantially. Detected automatically;
   /// this flag force-disables the optimization.
   bool assume_integral_objective = true;
+  /// Simplex implementation for the node relaxations.
+  LpBackend lp_backend = LpBackend::kDense;
 };
 
 /// Branch-and-bound over LP relaxations for problems whose integer

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "curb/opt/lp.hpp"
+
+namespace curb::opt {
+
+/// Bounded-variable revised simplex over sparse columns.
+///
+/// The dense tableau in lp.cpp carries m x (n + 2m) doubles and pays
+/// O(m * (n + 2m)) per pivot — fine at paper scale (Internet2 builds a
+/// 100 x 760 tableau) but hopeless at 1000 switches x 100 controllers,
+/// where the CAP MILP has ~100k columns and the tableau alone would need
+/// gigabytes. This solver keeps the constraint matrix as sparse columns,
+/// maintains an explicit m x m basis inverse updated in product form, and
+/// pays O(m^2 + nnz) per iteration independent of the column count.
+///
+/// The object is persistent so branch-and-bound can reuse it across nodes:
+/// the constraint matrix is factored once at construction, and each solve()
+/// re-reads the variable bounds from the problem (the only thing B&B
+/// mutates). Two warm paths, both counted in warm_hits():
+///  - the cached basis is still primal-feasible under the new bounds
+///    (typical when a child fixes a variable already at that bound): phase 1
+///    is skipped and phase 2 resumes directly;
+///  - the basis is primal-infeasible but still dual-feasible (the usual
+///    case after branching, since bounds moved but costs did not): a
+///    bounded-variable dual simplex repairs primal feasibility in a few
+///    pivots — or proves the node infeasible outright — without ever
+///    re-running phase 1.
+///
+/// Anti-cycling: Dantzig pricing normally; after a stretch of non-improving
+/// (degenerate) iterations the pricing switches to Bland's least-index rule,
+/// which provably terminates, until the objective moves again.
+class SparseLpSolver {
+ public:
+  /// The problem reference must outlive the solver. Constraint rows must not
+  /// change after construction; bounds may (set_bounds) between solves.
+  explicit SparseLpSolver(const LpProblem& problem);
+
+  [[nodiscard]] LpSolution solve(std::size_t max_iterations = 50'000);
+
+  /// Solves that resumed from the cached basis without a phase-1 pass.
+  [[nodiscard]] std::size_t warm_hits() const { return warm_hits_; }
+  /// Drop the cached basis; the next solve cold-starts.
+  void invalidate_basis() { has_basis_ = false; }
+
+ private:
+  enum class Status : std::uint8_t { kBasic, kAtLower, kAtUpper };
+
+  struct Entry {
+    std::uint32_t row;
+    double value;
+  };
+
+  enum class DualRepair : std::uint8_t { kRepaired, kInfeasible, kGiveUp };
+
+  void load_bounds();
+  void cold_start();
+  [[nodiscard]] bool try_warm_start();
+  [[nodiscard]] DualRepair dual_repair(const std::vector<double>& cost,
+                                       std::size_t max_iterations);
+  [[nodiscard]] double bound_value(std::size_t j) const;
+  /// Row r of binv_ still maps the basis columns to e_r (within 1e-6) —
+  /// required before trusting a dual-simplex infeasibility proof.
+  [[nodiscard]] bool binv_row_accurate(std::size_t r) const;
+  /// The current (xb_, nonbasic bounds) point satisfies every row — required
+  /// before trusting an optimum reached through a warm-started chain.
+  [[nodiscard]] bool solution_consistent() const;
+  void compute_basic_values();
+  [[nodiscard]] double column_dot(std::size_t j, const std::vector<double>& y) const;
+  void direction(std::size_t j, std::vector<double>& w) const;
+  [[nodiscard]] double objective_of(const std::vector<double>& cost) const;
+  /// Runs simplex iterations for `cost`. Returns false on iteration limit.
+  bool iterate(const std::vector<double>& cost, std::size_t max_iterations);
+  [[nodiscard]] int choose_entering(const std::vector<double>& cost, bool bland) const;
+  LpSolution finish(LpStatus status, bool keep_basis);
+
+  const LpProblem& problem_;
+  std::size_t num_rows_ = 0;
+  std::size_t num_structural_ = 0;
+  std::size_t num_cols_ = 0;  // structural + slack + artificial
+  std::vector<std::vector<Entry>> cols_;
+  std::vector<double> rhs_;
+  std::vector<double> art_sign_;  // artificial column coefficient per row
+
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<Status> status_;
+  std::vector<std::size_t> basis_;
+  std::vector<double> binv_;  // row-major m x m basis inverse
+  std::vector<double> xb_;    // basic variable values by row
+  bool has_basis_ = false;
+
+  std::size_t iterations_ = 0;
+  bool unbounded_ = false;
+  std::size_t warm_hits_ = 0;
+};
+
+/// One-shot convenience mirroring solve_lp(): same statuses, same
+/// tolerances, sparse internals. Exact-solver differential tests assert the
+/// two agree on every instance.
+[[nodiscard]] LpSolution solve_lp_sparse(const LpProblem& problem,
+                                         std::size_t max_iterations = 50'000);
+
+}  // namespace curb::opt

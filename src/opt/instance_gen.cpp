@@ -1,0 +1,127 @@
+#include "curb/opt/instance_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "curb/sim/rng.hpp"
+
+namespace curb::opt {
+
+namespace {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+[[nodiscard]] double dist(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+}  // namespace
+
+CapInstance generate_instance(const GenProfile& profile) {
+  sim::Rng rng{profile.seed};
+  const std::size_t s = profile.switches;
+  const std::size_t c = profile.controllers;
+  const int group = 3 * profile.faults_tolerated + 1;
+
+  CapInstance inst;
+  inst.num_switches = s;
+  inst.num_controllers = c;
+  inst.group_size.assign(s, group);
+
+  // Planar geometry in a 100x100 square; delays are distances (ms ~ km/100
+  // is close enough to the paper's emulated WANs for solver purposes).
+  std::vector<Point> sw_pos(s);
+  std::vector<Point> ctl_pos(c);
+  for (auto& p : sw_pos) p = {rng.next_double_in(0.0, 100.0), rng.next_double_in(0.0, 100.0)};
+  for (auto& p : ctl_pos) p = {rng.next_double_in(0.0, 100.0), rng.next_double_in(0.0, 100.0)};
+
+  inst.cs_delay.assign(s, std::vector<double>(c, 0.0));
+  for (std::size_t i = 0; i < s; ++i) {
+    for (std::size_t j = 0; j < c; ++j) inst.cs_delay[i][j] = dist(sw_pos[i], ctl_pos[j]);
+  }
+  inst.cc_delay.assign(c, std::vector<double>(c, 0.0));
+  for (std::size_t j = 0; j < c; ++j) {
+    for (std::size_t k = 0; k < c; ++k) inst.cc_delay[j][k] = dist(ctl_pos[j], ctl_pos[k]);
+  }
+
+  inst.switch_load.resize(s);
+  double total_load = 0.0;
+  for (std::size_t i = 0; i < s; ++i) {
+    inst.switch_load[i] = rng.next_double_in(1.0, 10.0);
+    total_load += inst.switch_load[i];
+  }
+
+  // Byzantine marks before the delay caps so eligibility counts are honest.
+  inst.byzantine.assign(c, false);
+  if (profile.byzantine_frac > 0.0 && c > 0) {
+    auto want = static_cast<std::size_t>(profile.byzantine_frac * static_cast<double>(c));
+    const std::size_t max_byz = c > static_cast<std::size_t>(group) + 1
+                                    ? c - static_cast<std::size_t>(group) - 1
+                                    : 0;
+    want = std::min(want, max_byz);
+    std::vector<std::size_t> order(c);
+    for (std::size_t j = 0; j < c; ++j) order[j] = j;
+    rng.shuffle(order);
+    for (std::size_t k = 0; k < want; ++k) inst.byzantine[order[k]] = true;
+  }
+
+  if (profile.cs_delay_cap) {
+    // Cap at the largest (B_i + 2)-th nearest honest-controller distance over
+    // all switches: every switch keeps >= group + 2 eligible controllers.
+    double cap = 0.0;
+    for (std::size_t i = 0; i < s; ++i) {
+      std::vector<double> honest;
+      for (std::size_t j = 0; j < c; ++j) {
+        if (!inst.byzantine[j]) honest.push_back(inst.cs_delay[i][j]);
+      }
+      std::sort(honest.begin(), honest.end());
+      const std::size_t rank = std::min(honest.size(), static_cast<std::size_t>(group) + 2);
+      if (rank > 0) cap = std::max(cap, honest[rank - 1]);
+    }
+    inst.max_cs_delay = cap;
+  }
+  if (profile.cc_delay_cap) {
+    // Loose enough that nearby controllers group, tight enough to exclude
+    // diagonal pairs: 75% of the square's diagonal.
+    inst.max_cc_delay = 0.75 * std::hypot(100.0, 100.0);
+  }
+
+  // Every switch loads each of its group controllers, so the aggregate
+  // requirement is sum_i Q_i * B_i spread over the honest controllers.
+  std::size_t honest = 0;
+  for (std::size_t j = 0; j < c; ++j) honest += inst.byzantine[j] ? 0 : 1;
+  const double per_controller =
+      honest == 0 ? 1.0
+                  : total_load * static_cast<double>(group) / static_cast<double>(honest);
+  inst.controller_capacity.resize(c);
+  for (std::size_t j = 0; j < c; ++j) {
+    inst.controller_capacity[j] =
+        per_controller * profile.capacity_slack * rng.next_double_in(0.8, 1.2);
+  }
+
+  inst.fixed_leader.assign(s, std::nullopt);
+  if (profile.fixed_leader_frac > 0.0) {
+    for (std::size_t i = 0; i < s; ++i) {
+      if (!rng.next_bool(profile.fixed_leader_frac)) continue;
+      std::size_t best = c;
+      for (std::size_t j = 0; j < c; ++j) {
+        if (inst.byzantine[j]) continue;
+        if (inst.max_cs_delay != CapInstance::kNoLimit &&
+            inst.cs_delay[i][j] > inst.max_cs_delay) {
+          continue;
+        }
+        if (best == c || inst.cs_delay[i][j] < inst.cs_delay[i][best]) best = j;
+      }
+      if (best < c) inst.fixed_leader[i] = static_cast<int>(best);
+    }
+  }
+
+  inst.validate();
+  return inst;
+}
+
+}  // namespace curb::opt

@@ -1,0 +1,603 @@
+#include "curb/opt/sparse_lp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "curb/prof/profiler.hpp"
+
+namespace curb::opt {
+
+namespace {
+constexpr double kEps = 1e-7;
+constexpr double kPivotEps = 1e-9;
+// Dual pivots divide by the pivot element without the safeguard of a later
+// phase-1 pass, so they demand a larger margin: a 1e-8 pivot amplifies
+// basis-inverse error by 1e8 and was observed to blow xb_ up to 1e9 on CAP
+// instances, turning feasible nodes into false infeasibility proofs.
+constexpr double kDualPivotEps = 1e-7;
+constexpr std::size_t kRefreshInterval = 64;
+}  // namespace
+
+SparseLpSolver::SparseLpSolver(const LpProblem& problem) : problem_{problem} {
+  num_structural_ = problem.num_variables();
+  num_rows_ = problem.num_constraints();
+  // Column layout mirrors lp.cpp: [structural | slack per row | artificial
+  // per row]; slack sign encodes the row sense, artificial sign is chosen at
+  // each cold start so the artificial always enters the basis nonnegative.
+  num_cols_ = num_structural_ + 2 * num_rows_;
+  cols_.assign(num_cols_, {});
+  rhs_.assign(num_rows_, 0.0);
+  art_sign_.assign(num_rows_, 1.0);
+  lower_.assign(num_cols_, 0.0);
+  upper_.assign(num_cols_, LpProblem::kInf);
+
+  for (std::size_t k = 0; k < num_rows_; ++k) {
+    const auto& row = problem.row(k);
+    for (const auto& [var, coeff] : row.terms) {
+      cols_[static_cast<std::size_t>(var)].push_back(
+          {static_cast<std::uint32_t>(k), coeff});
+    }
+    rhs_[k] = row.rhs;
+    const std::size_t slack = num_structural_ + k;
+    switch (row.sense) {
+      case LpProblem::Sense::kLe:
+        cols_[slack].push_back({static_cast<std::uint32_t>(k), 1.0});
+        break;
+      case LpProblem::Sense::kGe:
+        cols_[slack].push_back({static_cast<std::uint32_t>(k), -1.0});
+        break;
+      case LpProblem::Sense::kEq:
+        cols_[slack].push_back({static_cast<std::uint32_t>(k), 1.0});
+        upper_[slack] = 0.0;  // pinned slack: row stays an equality
+        break;
+    }
+    cols_[num_structural_ + num_rows_ + k].push_back(
+        {static_cast<std::uint32_t>(k), 1.0});
+  }
+}
+
+void SparseLpSolver::load_bounds() {
+  for (std::size_t j = 0; j < num_structural_; ++j) {
+    lower_[j] = problem_.lower(static_cast<int>(j));
+    upper_[j] = problem_.upper(static_cast<int>(j));
+  }
+}
+
+double SparseLpSolver::bound_value(std::size_t j) const {
+  if (status_[j] == Status::kAtUpper) return upper_[j];
+  const double l = lower_[j];
+  return l == -LpProblem::kInf ? 0.0 : l;
+}
+
+double SparseLpSolver::column_dot(std::size_t j, const std::vector<double>& y) const {
+  double dot = 0.0;
+  for (const Entry& e : cols_[j]) dot += e.value * y[e.row];
+  return dot;
+}
+
+void SparseLpSolver::direction(std::size_t j, std::vector<double>& w) const {
+  // w = B^-1 a_j, accumulated column-by-column of B^-1.
+  w.assign(num_rows_, 0.0);
+  for (const Entry& e : cols_[j]) {
+    const double v = e.value;
+    const double* binv_col = binv_.data() + e.row;
+    for (std::size_t k = 0; k < num_rows_; ++k) {
+      w[k] += v * binv_col[k * num_rows_];
+    }
+  }
+}
+
+void SparseLpSolver::compute_basic_values() {
+  // xb = B^-1 (b - N x_N).
+  std::vector<double> residual = rhs_;
+  for (std::size_t j = 0; j < num_cols_; ++j) {
+    if (status_[j] == Status::kBasic) continue;
+    const double bv = bound_value(j);
+    if (bv == 0.0) continue;
+    for (const Entry& e : cols_[j]) residual[e.row] -= e.value * bv;
+  }
+  for (std::size_t k = 0; k < num_rows_; ++k) {
+    double v = 0.0;
+    const double* row = binv_.data() + k * num_rows_;
+    for (std::size_t i = 0; i < num_rows_; ++i) v += row[i] * residual[i];
+    xb_[k] = v;
+  }
+}
+
+void SparseLpSolver::cold_start() {
+  const std::size_t n = num_structural_;
+  const std::size_t m = num_rows_;
+  status_.assign(num_cols_, Status::kAtLower);
+  for (std::size_t j = 0; j < n + m; ++j) {
+    if (lower_[j] == -LpProblem::kInf && upper_[j] != LpProblem::kInf) {
+      status_[j] = Status::kAtUpper;
+    }
+  }
+  // Artificials start pinned; rows the slack crash cannot cover re-open one.
+  for (std::size_t k = 0; k < m; ++k) {
+    lower_[n + m + k] = 0.0;
+    upper_[n + m + k] = 0.0;
+  }
+
+  std::vector<double> activity(m, 0.0);
+  for (std::size_t j = 0; j < n + m; ++j) {
+    const double bv = bound_value(j);
+    if (bv == 0.0) continue;
+    for (const Entry& e : cols_[j]) activity[e.row] += e.value * bv;
+  }
+
+  basis_.assign(m, 0);
+  xb_.assign(m, 0.0);
+  binv_.assign(m * m, 0.0);
+  for (std::size_t k = 0; k < m; ++k) {
+    const double residual = rhs_[k] - activity[k];
+    const std::size_t slack = n + k;
+    const double sigma = cols_[slack][0].value;
+    // Crash basis: take the row's slack basic when its implied value fits the
+    // slack bounds — phase 1 then only has to fix the genuinely violated rows.
+    const double slack_value = residual / sigma;
+    if (status_[slack] == Status::kAtLower && slack_value >= lower_[slack] - kEps &&
+        slack_value <= upper_[slack] + kEps) {
+      basis_[k] = slack;
+      status_[slack] = Status::kBasic;
+      binv_[k * m + k] = 1.0 / sigma;
+      xb_[k] = std::clamp(slack_value, lower_[slack], upper_[slack]);
+      continue;
+    }
+    const std::size_t art = n + m + k;
+    const double sign = residual >= 0.0 ? 1.0 : -1.0;
+    art_sign_[k] = sign;
+    cols_[art][0].value = sign;
+    lower_[art] = 0.0;
+    upper_[art] = LpProblem::kInf;
+    basis_[k] = art;
+    status_[art] = Status::kBasic;
+    binv_[k * m + k] = sign;  // 1/sign == sign for +-1
+    xb_[k] = std::abs(residual);
+  }
+}
+
+bool SparseLpSolver::try_warm_start() {
+  if (!has_basis_) return false;
+  // Nonbasic statuses must stay representable under the new bounds (a bound
+  // may have become infinite since the basis was cached).
+  for (std::size_t j = 0; j < num_cols_; ++j) {
+    if (status_[j] == Status::kAtUpper && upper_[j] == LpProblem::kInf) {
+      status_[j] = Status::kAtLower;
+    }
+  }
+  compute_basic_values();
+  for (std::size_t k = 0; k < num_rows_; ++k) {
+    const std::size_t bv = basis_[k];
+    if (xb_[k] < lower_[bv] - kEps || xb_[k] > upper_[bv] + kEps) return false;
+  }
+  return true;
+}
+
+bool SparseLpSolver::binv_row_accurate(std::size_t r) const {
+  // Row r of B^-1 must map the basis columns to e_r.
+  const double* row = binv_.data() + r * num_rows_;
+  for (std::size_t k = 0; k < num_rows_; ++k) {
+    double dot = 0.0;
+    for (const Entry& e : cols_[basis_[k]]) dot += e.value * row[e.row];
+    if (std::abs(dot - (k == r ? 1.0 : 0.0)) > 1e-6) return false;
+  }
+  return true;
+}
+
+bool SparseLpSolver::solution_consistent() const {
+  // The claimed solution must actually satisfy the rows: product-form
+  // basis-inverse updates accumulate error over long warm chains, and an
+  // inconsistent basis can otherwise smuggle a wrong "optimal" out of a
+  // warm-started solve. O(nnz) — cheap next to one simplex iteration.
+  std::vector<double> residual = rhs_;
+  for (std::size_t j = 0; j < num_cols_; ++j) {
+    if (status_[j] == Status::kBasic) continue;
+    const double v = bound_value(j);
+    if (v == 0.0) continue;
+    for (const Entry& e : cols_[j]) residual[e.row] -= e.value * v;
+  }
+  for (std::size_t k = 0; k < num_rows_; ++k) {
+    for (const Entry& e : cols_[basis_[k]]) residual[e.row] -= e.value * xb_[k];
+  }
+  for (std::size_t k = 0; k < num_rows_; ++k) {
+    if (std::abs(residual[k]) > 1e-6 * (1.0 + std::abs(rhs_[k]))) return false;
+  }
+  for (std::size_t k = 0; k < num_rows_; ++k) {
+    const std::size_t bv = basis_[k];
+    if (xb_[k] < lower_[bv] - 1e-6 || xb_[k] > upper_[bv] + 1e-6) return false;
+  }
+  return true;
+}
+
+SparseLpSolver::DualRepair SparseLpSolver::dual_repair(const std::vector<double>& cost,
+                                                       std::size_t max_iterations) {
+  const std::size_t m = num_rows_;
+  // Reduced costs z = c - c_B B^-1 A. The cached basis came out of an
+  // optimal phase 2, so unless bounds re-opened a previously pinned column
+  // it is still dual-feasible — branching moves bounds, never costs.
+  std::vector<double> y(m, 0.0);
+  for (std::size_t k = 0; k < m; ++k) {
+    const double c = cost[basis_[k]];
+    if (c == 0.0) continue;
+    const double* row = binv_.data() + k * m;
+    for (std::size_t i = 0; i < m; ++i) y[i] += c * row[i];
+  }
+  std::vector<double> z(num_cols_, 0.0);
+  bool flipped = false;
+  for (std::size_t j = 0; j < num_cols_; ++j) {
+    if (status_[j] == Status::kBasic || lower_[j] == upper_[j]) continue;
+    z[j] = cost[j] - column_dot(j, y);
+    // Backtracking re-opens bounds that branching had pinned, which can leave
+    // a nonbasic column on the wrong bound for its reduced-cost sign. A bound
+    // flip restores dual feasibility (only the primal side moves, and that is
+    // exactly what the pivots below repair) — give up only when the needed
+    // bound is infinite.
+    if (status_[j] == Status::kAtLower && z[j] < -kEps) {
+      if (upper_[j] == LpProblem::kInf) return DualRepair::kGiveUp;
+      status_[j] = Status::kAtUpper;
+      flipped = true;
+    } else if (status_[j] == Status::kAtUpper && z[j] > kEps) {
+      if (lower_[j] == -LpProblem::kInf) return DualRepair::kGiveUp;
+      status_[j] = Status::kAtLower;
+      flipped = true;
+    }
+  }
+  if (flipped) compute_basic_values();
+
+  // Most violated basic variable, or -1 when primal-feasible. `below` is set
+  // to whether that variable sits under its lower bound.
+  bool below = false;
+  const auto most_violated = [&]() -> int {
+    int leave = -1;
+    double worst = kEps;
+    for (std::size_t k = 0; k < m; ++k) {
+      const std::size_t bv = basis_[k];
+      const double under = lower_[bv] - xb_[k];
+      const double over = xb_[k] - upper_[bv];
+      if (under > worst) {
+        worst = under;
+        leave = static_cast<int>(k);
+        below = true;
+      }
+      if (over > worst) {
+        worst = over;
+        leave = static_cast<int>(k);
+        below = false;
+      }
+    }
+    return leave;
+  };
+
+  // A handful of pivots restores a typical branch-and-bound child; anything
+  // beyond this is numerically suspicious, so fall back to a cold start.
+  const std::size_t pivot_budget = std::max<std::size_t>(100, 2 * m);
+  std::vector<double> alpha(num_cols_, 0.0);
+  std::vector<double> w;
+  for (std::size_t pivots = 0; pivots < pivot_budget; ++pivots) {
+    if (iterations_ >= max_iterations) return DualRepair::kGiveUp;
+
+    int leave = most_violated();
+    if (leave < 0) {
+      // Feasible on the incrementally-maintained values; confirm on freshly
+      // recomputed ones before declaring success — xb_ drifts across pivots.
+      compute_basic_values();
+      leave = most_violated();
+      if (leave < 0) return DualRepair::kRepaired;
+    }
+
+    const auto r = static_cast<std::size_t>(leave);
+    const double* rho = binv_.data() + r * m;  // row r of B^-1
+    // alpha_j = (B^-1 A)_rj for every nonbasic candidate.
+    int entering = -1;
+    double best_ratio = 0.0;
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      if (status_[j] == Status::kBasic || lower_[j] == upper_[j]) continue;
+      double a = 0.0;
+      for (const Entry& e : cols_[j]) a += e.value * rho[e.row];
+      alpha[j] = a;
+      if (std::abs(a) <= kDualPivotEps) continue;
+      // Leaving below its lower bound -> the dual step is <= 0; eligible
+      // columns keep it so. Mirrored when leaving above its upper bound.
+      bool eligible;
+      if (below) {
+        eligible = (status_[j] == Status::kAtLower && a < 0.0) ||
+                   (status_[j] == Status::kAtUpper && a > 0.0);
+      } else {
+        eligible = (status_[j] == Status::kAtLower && a > 0.0) ||
+                   (status_[j] == Status::kAtUpper && a < 0.0);
+      }
+      if (!eligible) continue;
+      const double ratio = std::abs(z[j] / a);  // |dual step| this column allows
+      if (entering < 0 || ratio < best_ratio - kPivotEps ||
+          (ratio < best_ratio + kPivotEps && j < static_cast<std::size_t>(entering))) {
+        best_ratio = ratio;
+        entering = static_cast<int>(j);
+      }
+    }
+    // No column can absorb the violation: the node is primal-infeasible
+    // (dual unbounded). The proof rests entirely on row r of the basis
+    // inverse and on xb_, both of which accumulate error — prune only after
+    // re-deriving them: the violation must survive a fresh xb computation
+    // and binv_ row r must still invert the basis columns to e_r.
+    if (entering < 0) {
+      compute_basic_values();
+      const std::size_t bv = basis_[r];
+      const bool still_violated = below ? xb_[r] < lower_[bv] - kEps
+                                        : xb_[r] > upper_[bv] + kEps;
+      if (!still_violated || !binv_row_accurate(r)) return DualRepair::kGiveUp;
+      return DualRepair::kInfeasible;
+    }
+
+    const auto q = static_cast<std::size_t>(entering);
+    const std::size_t leaving = basis_[r];
+    const double target = below ? lower_[leaving] : upper_[leaving];
+    const double t = (xb_[r] - target) / alpha[q];  // change in x_q
+    const double theta = z[q] / alpha[q];           // dual step
+
+    direction(q, w);
+    for (std::size_t k = 0; k < m; ++k) xb_[k] -= w[k] * t;
+
+    // Product-form update of B^-1 on pivot (r, q).
+    const double inv_pivot = 1.0 / w[r];
+    double* prow = binv_.data() + r * m;
+    for (std::size_t i = 0; i < m; ++i) prow[i] *= inv_pivot;
+    for (std::size_t k = 0; k < m; ++k) {
+      if (k == r) continue;
+      const double factor = w[k];
+      if (std::abs(factor) <= kPivotEps) continue;
+      double* krow = binv_.data() + k * m;
+      for (std::size_t i = 0; i < m; ++i) krow[i] -= factor * prow[i];
+    }
+
+    const double entering_value = bound_value(q) + t;
+    basis_[r] = q;
+    status_[q] = Status::kBasic;
+    status_[leaving] = below ? Status::kAtLower : Status::kAtUpper;
+    xb_[r] = entering_value;
+
+    // Incremental dual update: z'_j = z_j - theta * alpha_j.
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      if (status_[j] == Status::kBasic || lower_[j] == upper_[j]) continue;
+      z[j] -= theta * alpha[j];
+    }
+    z[q] = 0.0;
+    z[leaving] = -theta;
+    ++iterations_;
+    if (iterations_ % kRefreshInterval == 0) compute_basic_values();
+  }
+  return DualRepair::kGiveUp;
+}
+
+double SparseLpSolver::objective_of(const std::vector<double>& cost) const {
+  double obj = 0.0;
+  for (std::size_t j = 0; j < num_cols_; ++j) {
+    if (cost[j] == 0.0 || status_[j] == Status::kBasic) continue;
+    obj += cost[j] * bound_value(j);
+  }
+  for (std::size_t k = 0; k < num_rows_; ++k) obj += cost[basis_[k]] * xb_[k];
+  return obj;
+}
+
+int SparseLpSolver::choose_entering(const std::vector<double>& cost, bool bland) const {
+  // Reduced costs priced against y = c_B B^-1; Dantzig largest-violation
+  // normally, Bland least-index when degeneracy has stalled the objective.
+  std::vector<double> y(num_rows_, 0.0);
+  for (std::size_t k = 0; k < num_rows_; ++k) {
+    const double c = cost[basis_[k]];
+    if (c == 0.0) continue;
+    const double* row = binv_.data() + k * num_rows_;
+    for (std::size_t i = 0; i < num_rows_; ++i) y[i] += c * row[i];
+  }
+  int best = -1;
+  double best_score = -kEps;
+  for (std::size_t j = 0; j < num_cols_; ++j) {
+    if (status_[j] == Status::kBasic) continue;
+    if (lower_[j] == upper_[j]) continue;  // pinned (equality slack, artificial)
+    const double z = cost[j] - column_dot(j, y);
+    double score = 0.0;
+    if (status_[j] == Status::kAtLower && z < -kEps) score = z;
+    else if (status_[j] == Status::kAtUpper && z > kEps) score = -z;
+    else continue;
+    if (bland) return static_cast<int>(j);  // first eligible index
+    if (score < best_score) {
+      best_score = score;
+      best = static_cast<int>(j);
+    }
+  }
+  return best;
+}
+
+bool SparseLpSolver::iterate(const std::vector<double>& cost,
+                             std::size_t max_iterations) {
+  std::size_t since_improvement = 0;
+  double last_obj = objective_of(cost);
+  const std::size_t bland_after = 4 * (num_rows_ + num_cols_);
+  unbounded_ = false;
+  std::vector<double> w;
+
+  while (iterations_ < max_iterations) {
+    const bool bland = since_improvement > bland_after;
+    const int entering_idx = choose_entering(cost, bland);
+    if (entering_idx < 0) return true;  // optimal for this phase
+    ++iterations_;
+    const auto entering = static_cast<std::size_t>(entering_idx);
+    const double sigma = status_[entering] == Status::kAtLower ? 1.0 : -1.0;
+
+    direction(entering, w);
+
+    double best_t = LpProblem::kInf;
+    int leave_row = -1;
+    bool leave_to_upper = false;
+    // Bound flip of the entering variable itself.
+    if (upper_[entering] != LpProblem::kInf && lower_[entering] != -LpProblem::kInf) {
+      best_t = upper_[entering] - lower_[entering];
+    }
+    for (std::size_t k = 0; k < num_rows_; ++k) {
+      const double a = w[k] * sigma;
+      if (std::abs(a) <= kPivotEps) continue;
+      const std::size_t bv = basis_[k];
+      const double xk = xb_[k];
+      double t;
+      bool to_upper;
+      if (a > 0) {
+        if (lower_[bv] == -LpProblem::kInf) continue;
+        t = (xk - lower_[bv]) / a;
+        to_upper = false;
+      } else {
+        if (upper_[bv] == LpProblem::kInf) continue;
+        t = (xk - upper_[bv]) / a;  // a < 0 so t >= 0
+        to_upper = true;
+      }
+      if (t < -kEps) t = 0.0;  // degenerate: clamp
+      if (t < best_t - kPivotEps ||
+          (leave_row >= 0 && t < best_t + kPivotEps &&
+           bv < basis_[static_cast<std::size_t>(leave_row)])) {
+        best_t = t;
+        leave_row = static_cast<int>(k);
+        leave_to_upper = to_upper;
+      }
+    }
+
+    if (best_t == LpProblem::kInf) {
+      unbounded_ = true;
+      return true;
+    }
+
+    const double t = best_t;
+    for (std::size_t k = 0; k < num_rows_; ++k) xb_[k] -= w[k] * sigma * t;
+
+    if (leave_row < 0) {
+      // Pure bound flip: entering moves to its opposite bound.
+      status_[entering] =
+          status_[entering] == Status::kAtLower ? Status::kAtUpper : Status::kAtLower;
+    } else {
+      const auto r = static_cast<std::size_t>(leave_row);
+      const std::size_t leaving = basis_[r];
+      const double entering_value = bound_value(entering) + sigma * t;
+      // Product-form update of B^-1.
+      const double pivot = w[r];
+      double* prow = binv_.data() + r * num_rows_;
+      const double inv_pivot = 1.0 / pivot;
+      for (std::size_t i = 0; i < num_rows_; ++i) prow[i] *= inv_pivot;
+      for (std::size_t k = 0; k < num_rows_; ++k) {
+        if (k == r) continue;
+        const double factor = w[k];
+        if (std::abs(factor) <= kPivotEps) continue;
+        double* krow = binv_.data() + k * num_rows_;
+        for (std::size_t i = 0; i < num_rows_; ++i) krow[i] -= factor * prow[i];
+      }
+      basis_[r] = entering;
+      status_[entering] = Status::kBasic;
+      status_[leaving] = leave_to_upper ? Status::kAtUpper : Status::kAtLower;
+      xb_[r] = entering_value;
+    }
+
+    // Degeneracy stall detection (drives the Bland switch) plus a periodic
+    // from-scratch refresh of the basic values to bound numerical drift from
+    // the product-form updates.
+    if (iterations_ % kRefreshInterval == 0) compute_basic_values();
+    const double obj = objective_of(cost);
+    if (obj < last_obj - kEps) {
+      last_obj = obj;
+      since_improvement = 0;
+    } else {
+      ++since_improvement;
+    }
+  }
+  return false;
+}
+
+LpSolution SparseLpSolver::finish(LpStatus status, bool keep_basis) {
+  LpSolution sol;
+  sol.status = status;
+  sol.iterations = iterations_;
+  has_basis_ = keep_basis;
+  if (status != LpStatus::kOptimal) return sol;
+  sol.values.assign(num_structural_, 0.0);
+  for (std::size_t j = 0; j < num_structural_; ++j) {
+    if (status_[j] != Status::kBasic) sol.values[j] = bound_value(j);
+  }
+  for (std::size_t k = 0; k < num_rows_; ++k) {
+    if (basis_[k] < num_structural_) sol.values[basis_[k]] = xb_[k];
+  }
+  sol.objective = 0.0;
+  for (std::size_t j = 0; j < num_structural_; ++j) {
+    sol.objective += problem_.cost(static_cast<int>(j)) * sol.values[j];
+  }
+  return sol;
+}
+
+LpSolution SparseLpSolver::solve(std::size_t max_iterations) {
+  const prof::Scope scope{"solver.lp_sparse"};
+  iterations_ = 0;
+  load_bounds();
+
+  const std::size_t n = num_structural_;
+  const std::size_t m = num_rows_;
+
+  std::vector<double> phase2(num_cols_, 0.0);
+  for (std::size_t j = 0; j < n; ++j) phase2[j] = problem_.cost(static_cast<int>(j));
+
+  bool warm = false;
+  if (has_basis_) {
+    if (try_warm_start()) {
+      warm = true;
+    } else {
+      // Branching moved a bound out from under a basic variable, so the
+      // cached basis is primal-infeasible — but its reduced costs are
+      // untouched, so dual simplex can repair it without a phase 1 pass.
+      switch (dual_repair(phase2, max_iterations)) {
+        case DualRepair::kRepaired:
+          warm = true;
+          break;
+        case DualRepair::kInfeasible:
+          // Artificials are still pinned from the optimal solve the basis
+          // came from, so the basis stays safe to reuse at the next node.
+          ++warm_hits_;
+          return finish(LpStatus::kInfeasible, true);
+        case DualRepair::kGiveUp:
+          break;
+      }
+    }
+  }
+  if (warm) {
+    // Re-optimize from the repaired basis — and only trust the answer if the
+    // solution it implies actually satisfies the rows; numerical drift along
+    // a long warm chain falls back to the cold path below instead.
+    if (!iterate(phase2, max_iterations)) return finish(LpStatus::kIterationLimit, false);
+    if (unbounded_) return finish(LpStatus::kUnbounded, false);
+    if (solution_consistent()) {
+      ++warm_hits_;
+      return finish(LpStatus::kOptimal, true);
+    }
+  }
+
+  cold_start();
+  bool any_artificial = false;
+  for (std::size_t k = 0; k < m; ++k) any_artificial |= basis_[k] >= n + m;
+  if (any_artificial) {
+    // Phase 1: minimize the open artificials' total value.
+    std::vector<double> phase1(num_cols_, 0.0);
+    for (std::size_t k = 0; k < m; ++k) phase1[n + m + k] = 1.0;
+    if (!iterate(phase1, max_iterations)) return finish(LpStatus::kIterationLimit, false);
+    if (objective_of(phase1) > kEps) return finish(LpStatus::kInfeasible, false);
+    // Pin artificials so phase 2 can never re-inflate one.
+    for (std::size_t k = 0; k < m; ++k) {
+      const std::size_t art = n + m + k;
+      lower_[art] = 0.0;
+      upper_[art] = 0.0;
+      if (status_[art] != Status::kBasic) status_[art] = Status::kAtLower;
+    }
+  }
+
+  if (!iterate(phase2, max_iterations)) return finish(LpStatus::kIterationLimit, false);
+  if (unbounded_) return finish(LpStatus::kUnbounded, false);
+  return finish(LpStatus::kOptimal, true);
+}
+
+LpSolution solve_lp_sparse(const LpProblem& problem, std::size_t max_iterations) {
+  return SparseLpSolver{problem}.solve(max_iterations);
+}
+
+}  // namespace curb::opt

@@ -11,6 +11,10 @@
 //     --parallel 0|1                (default 1)
 //     --capacity C                  (controller capacity, default 12)
 //     --dcs MS                      (D_c,s in ms; 0 disables, default 14)
+//     --solver dense|sparse|heuristic (OP() backend, default dense; dense is
+//                                    the byte-stable baseline, sparse scales
+//                                    the exact solver, heuristic trades the
+//                                    optimality proof for millisecond solves)
 //     --overhead MS                 (per-message processing overhead, default 0)
 //     --reassign                    (run RE-ASS probe rounds instead of PKT-IN)
 //     --csv                         (machine-readable output)
@@ -35,6 +39,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "curb/core/simulation.hpp"
@@ -61,6 +67,7 @@ struct CliOptions {
   bool parallel = true;
   double capacity = 12.0;
   double dcs_ms = 14.0;
+  std::string solver = "dense";
   double overhead_ms = 0.0;
   bool reassign = false;
   bool csv = false;
@@ -89,7 +96,8 @@ struct CliOptions {
                "usage: %s [--topology internet2|random] [--controllers N]\n"
                "          [--switches M] [--seed S] [--f F] [--engine pbft|hotstuff]\n"
                "          [--rounds R] [--load L] [--parallel 0|1] [--capacity C]\n"
-               "          [--dcs MS] [--overhead MS] [--reassign] [--csv]\n"
+               "          [--dcs MS] [--solver dense|sparse|heuristic]\n"
+               "          [--overhead MS] [--reassign] [--csv]\n"
                "          [--trace FILE] [--trace-jsonl FILE]\n"
                "          [--metrics-out FILE] [--metrics-csv FILE] [--phase-report]\n"
                "          [--fault SPEC] [--fault-seed S]\n"
@@ -117,6 +125,7 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--parallel") opts.parallel = std::strtol(value(), nullptr, 10) != 0;
     else if (arg == "--capacity") opts.capacity = std::strtod(value(), nullptr);
     else if (arg == "--dcs") opts.dcs_ms = std::strtod(value(), nullptr);
+    else if (arg == "--solver") opts.solver = value();
     else if (arg == "--overhead") opts.overhead_ms = std::strtod(value(), nullptr);
     else if (arg == "--reassign") opts.reassign = true;
     else if (arg == "--csv") opts.csv = true;
@@ -146,6 +155,12 @@ int main(int argc, char** argv) {
   options.controller_capacity = cli.capacity;
   options.max_cs_delay_ms =
       cli.dcs_ms > 0 ? cli.dcs_ms : curb::opt::CapInstance::kNoLimit;
+  if (const auto backend = curb::opt::parse_cap_solver_backend(cli.solver)) {
+    options.op_solver = *backend;
+  } else {
+    std::fprintf(stderr, "curb-sim: unknown --solver '%s'\n", cli.solver.c_str());
+    usage(argv[0]);
+  }
   options.link_model.per_message_overhead =
       curb::sim::SimTime::from_seconds_f(cli.overhead_ms / 1000.0);
   options.reass_always_solve = cli.reassign;
@@ -180,7 +195,19 @@ int main(int argc, char** argv) {
                       : curb::net::internet2();
   if (cli.topology != "random" && cli.topology != "internet2") usage(argv[0]);
 
-  curb::core::CurbSimulation sim{std::move(topology), options};
+  // OP() throws when no feasible initial assignment exists — easy to hit
+  // with --topology random at low controller counts, or --solver heuristic
+  // on the marginally-feasible default Internet2 instance (the heuristic
+  // has no optimality proof and can miss groupings the exact backends
+  // find). Surface it as a clean error, not an abort.
+  std::optional<curb::core::CurbSimulation> sim_storage;
+  try {
+    sim_storage.emplace(std::move(topology), options);
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "curb-sim: %s\n", e.what());
+    return 1;
+  }
+  curb::core::CurbSimulation& sim = *sim_storage;
   const auto& state = sim.network().genesis_state();
   if (!cli.csv) {
     std::printf("curb-sim: %zu controllers, %zu switches, %zu groups, engine=%s\n",
