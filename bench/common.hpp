@@ -6,6 +6,7 @@
 // simulated substrate; the shapes are the reproduction target (see
 // EXPERIMENTS.md).
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -16,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "curb/core/env.hpp"
 #include "curb/core/network.hpp"
 #include "curb/core/options.hpp"
 #include "curb/obs/analysis.hpp"
@@ -104,44 +106,17 @@ inline void print_cell(double value) { std::printf("%-18.2f", value); }
 inline void print_cell(const std::string& value) { std::printf("%-18s", value.c_str()); }
 inline void end_row() { std::printf("\n"); }
 
-/// Environment-driven observability: set CURB_TRACE / CURB_TRACE_JSONL /
-/// CURB_METRICS_OUT / CURB_METRICS_CSV to file paths to capture a protocol
-/// trace or metrics snapshot from any bench binary without recompiling.
-/// CURB_BENCH_OUT also turns tracing on so the bench results file can carry
-/// the per-phase latency breakdown.
-inline bool obs_enabled_from_env() {
-  return std::getenv("CURB_TRACE") != nullptr ||
-         std::getenv("CURB_TRACE_JSONL") != nullptr ||
-         std::getenv("CURB_METRICS_OUT") != nullptr ||
-         std::getenv("CURB_METRICS_CSV") != nullptr ||
-         std::getenv("CURB_BENCH_OUT") != nullptr;
-}
-
-/// Environment-driven solver selection: set CURB_SOLVER to
-/// dense|sparse|heuristic to rerun any bench binary with a different OP()
-/// backend without recompiling. Unset keeps the byte-stable dense baseline.
-inline void apply_solver_env(core::CurbOptions& opts) {
-  const char* name = std::getenv("CURB_SOLVER");
-  if (name == nullptr || *name == '\0') return;
-  if (const auto backend = opt::parse_cap_solver_backend(name)) {
-    opts.op_solver = *backend;
-  } else {
-    std::fprintf(stderr, "bench: unknown CURB_SOLVER '%s' (want dense|sparse|heuristic)\n",
-                 name);
+/// Apply every option-affecting CURB_* environment variable (solver, fault
+/// plan, time-series telemetry, SLO rules — see core::curb_env_vars() for
+/// the documented table) so any bench binary honours them without
+/// recompiling, e.g.
+///   CURB_FAULT='drop(p=0.05,cat=REPLY)' CURB_TS_OUT=ts.jsonl
+///     CURB_SLO='p99(core.request_latency_us) < 400ms' ./bench_pkt_in_latency
+inline void apply_curb_env(core::CurbOptions& opts) {
+  std::string error;
+  if (!core::apply_env_to_options(opts, &error)) {
+    std::fprintf(stderr, "bench: %s\n", error.c_str());
     std::exit(2);
-  }
-}
-
-/// Environment-driven fault injection: set CURB_FAULT to a curb::fault spec
-/// string (and optionally CURB_FAULT_SEED) to run any bench binary under a
-/// deterministic fault schedule without recompiling, e.g.
-///   CURB_FAULT='drop(p=0.05,cat=REPLY)' ./bench_pkt_in_latency
-inline void apply_fault_env(core::CurbOptions& opts) {
-  if (const char* spec = std::getenv("CURB_FAULT")) {
-    opts.fault_spec = spec;
-  }
-  if (const char* seed = std::getenv("CURB_FAULT_SEED")) {
-    opts.fault_seed = std::strtoull(seed, nullptr, 10);
   }
 }
 
@@ -165,9 +140,8 @@ inline core::CurbOptions paper_options() {
   // "application-specific waiting time" policy).
   opts.max_silent_rounds = 3;
   opts.op_time_mode = core::OpTimeMode::kMeasured;
-  opts.observability = obs_enabled_from_env();
-  apply_solver_env(opts);
-  apply_fault_env(opts);
+  opts.observability = core::env_observability_requested();
+  apply_curb_env(opts);
   return opts;
 }
 
@@ -207,6 +181,9 @@ class BenchResults {
       entry << ",\"phases\":";
       obs::write_phase_breakdown_json(analysis, entry);
       entry << ",\"anomalies\":" << analysis.findings().size();
+    }
+    if (network != nullptr && network->ts() != nullptr) {
+      append_window_series(entry, *network->ts());
     }
     entry << "}";
     instance().entries_.push_back(entry.str());
@@ -261,6 +238,45 @@ class BenchResults {
     entry << "}";
   }
 
+  /// Windowed-telemetry section: per-series summary over the retained ring
+  /// (bounded by ts_retention, so entries stay small no matter how long the
+  /// configuration ran). Full resolution lives in the CURB_TS_OUT JSONL.
+  static void append_window_series(std::ostringstream& entry,
+                                   const obs::TsCollector& ts) {
+    entry << ",\"window_series\":{\"window_us\":" << ts.options().window.as_micros()
+          << ",\"windows_closed\":" << ts.windows_closed()
+          << ",\"retained\":" << ts.windows().size() << ",\"series\":{";
+    // Per-series stats across retained windows (sorted: map iteration).
+    struct Stats {
+      const char* kind = "";
+      std::size_t windows = 0;
+      double sum = 0.0, max = 0.0, last = 0.0;
+    };
+    std::map<std::string, Stats> stats;
+    for (const auto& window : ts.windows()) {
+      for (const auto& [key, value] : window.series) {
+        Stats& s = stats[key];
+        s.kind = obs::to_string(value.kind);
+        ++s.windows;
+        const double v = value.kind == obs::TsValue::Kind::kHist ? value.p99
+                                                                 : value.value;
+        s.sum += v;
+        s.max = s.windows == 1 ? v : std::max(s.max, v);
+        s.last = v;
+      }
+    }
+    bool first = true;
+    for (const auto& [key, s] : stats) {
+      entry << (first ? "" : ",") << "\"" << obs::json_escape(key)
+            << "\":{\"kind\":\"" << s.kind << "\",\"windows\":" << s.windows
+            << ",\"mean\":" << obs::json_double(s.sum / static_cast<double>(s.windows))
+            << ",\"max\":" << obs::json_double(s.max)
+            << ",\"last\":" << obs::json_double(s.last) << "}";
+      first = false;
+    }
+    entry << "}}";
+  }
+
   BenchResults() = default;
   ~BenchResults() {
     if (entries_.empty()) return;
@@ -287,8 +303,24 @@ class BenchResults {
 };
 
 /// Write whatever the CURB_* env vars request from this network's
-/// observatory. No-op when observability is off.
+/// observatory. No-op when observability is off. Closes the trailing
+/// telemetry window first so the JSONL stream and the SLO report cover the
+/// whole run; breaches are summarized on stderr (benches keep exit 0 — the
+/// watchdog exit code belongs to curb-sim/curb-watch).
 inline void export_obs_from_env(core::CurbNetwork& network) {
+  network.finalize_telemetry();
+  if (obs::SloEngine* slo = network.slo(); slo != nullptr) {
+    if (const auto path = core::env_get("CURB_SLO_OUT")) {
+      std::ofstream out{*path, std::ios::binary | std::ios::trunc};
+      if (out) slo->write_report_json(out);
+    }
+    if (slo->breached()) {
+      std::fprintf(stderr, "bench: %zu SLO breach(es):\n", slo->breaches().size());
+      std::ostringstream text;
+      slo->write_report_text(text);
+      std::fputs(text.str().c_str(), stderr);
+    }
+  }
   obs::Observatory* obsy = network.observatory();
   if (obsy == nullptr) return;
   network.snapshot_runtime_metrics();

@@ -993,6 +993,7 @@ void Controller::apply_reassignment(const chain::Transaction& tx, std::uint64_t 
     obsy->metrics.counter("core.epoch_adoptions").inc();
     obsy->tracer.instant("epoch_adopt", "ctrl-" + std::to_string(id_),
                          {{"epoch", std::to_string(next.epoch())}});
+    network_.record_assignment_metrics(state_);
   }
   trace(network_.simulator(), id_,
         "adopt epoch " + std::to_string(next.epoch()) + " groups=" +

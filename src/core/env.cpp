@@ -1,0 +1,132 @@
+#include "curb/core/env.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <exception>
+
+#include "curb/obs/slo.hpp"
+#include "curb/opt/solver.hpp"
+
+namespace curb::core {
+
+const std::vector<EnvVar>& curb_env_vars() {
+  static const std::vector<EnvVar> vars = {
+      {"CURB_SOLVER", "dense|sparse|heuristic",
+       "OP() solver backend for every assignment solve"},
+      {"CURB_FAULT", "spec", "fault-injection plan (curb::fault spec grammar)"},
+      {"CURB_FAULT_SEED", "u64", "seed for the fault plan's own RNG stream"},
+      {"CURB_TS_OUT", "path", "stream windowed telemetry to this JSONL file"},
+      {"CURB_TS_WINDOW", "ms",
+       "telemetry window width in virtual ms (enables the collector)"},
+      {"CURB_TS_RETENTION", "n", "closed windows kept in memory (default 64)"},
+      {"CURB_SLO", "rules",
+       "SLO watchdog rules, ';'-separated (curb::obs::slo grammar)"},
+      {"CURB_SLO_OUT", "path",
+       "write the machine-readable SLO breach report here"},
+      {"CURB_TRACE", "path", "write a Chrome-trace rendering of the run"},
+      {"CURB_TRACE_JSONL", "path", "write the span stream as JSONL"},
+      {"CURB_METRICS_OUT", "path", "write a metrics snapshot as JSON"},
+      {"CURB_METRICS_CSV", "path", "write a metrics snapshot as CSV"},
+      {"CURB_BENCH_OUT", "path",
+       "consolidated bench results JSON (default BENCH_results.json; empty "
+       "disables)"},
+      {"CURB_PROF", "path", "collapsed-stack host profile (flamegraph.pl)"},
+      {"CURB_PROF_CHROME", "path", "Chrome-trace host profile"},
+  };
+  return vars;
+}
+
+std::optional<std::string> env_get(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  return std::string{value};
+}
+
+bool env_observability_requested() {
+  return env_get("CURB_TRACE").has_value() ||
+         env_get("CURB_TRACE_JSONL").has_value() ||
+         env_get("CURB_METRICS_OUT").has_value() ||
+         env_get("CURB_METRICS_CSV").has_value() ||
+         env_get("CURB_BENCH_OUT").has_value() ||
+         env_get("CURB_TS_OUT").has_value() ||
+         env_get("CURB_TS_WINDOW").has_value() ||
+         env_get("CURB_SLO").has_value();
+}
+
+namespace {
+
+bool fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stoull(text, &used);
+    return used == text.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parse_ms(const std::string& text, sim::SimTime& out) {
+  try {
+    std::size_t used = 0;
+    const double ms = std::stod(text, &used);
+    if (used != text.size() || !(ms > 0.0)) return false;
+    out = sim::SimTime::micros(static_cast<std::int64_t>(std::llround(ms * 1000.0)));
+    return out > sim::SimTime::zero();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+bool apply_env_to_options(CurbOptions& opts, std::string* error) {
+  if (const auto name = env_get("CURB_SOLVER")) {
+    if (const auto backend = opt::parse_cap_solver_backend(*name)) {
+      opts.op_solver = *backend;
+    } else {
+      return fail(error, "unknown CURB_SOLVER '" + *name +
+                             "' (want dense|sparse|heuristic)");
+    }
+  }
+  if (const auto spec = env_get("CURB_FAULT")) opts.fault_spec = *spec;
+  if (const auto seed = env_get("CURB_FAULT_SEED")) {
+    std::uint64_t value = 0;
+    if (!parse_u64(*seed, value)) {
+      return fail(error, "bad CURB_FAULT_SEED '" + *seed + "' (want u64)");
+    }
+    opts.fault_seed = value;
+  }
+  if (const auto path = env_get("CURB_TS_OUT")) opts.ts_out = *path;
+  if (const auto window = env_get("CURB_TS_WINDOW")) {
+    if (!parse_ms(*window, opts.ts_window)) {
+      return fail(error, "bad CURB_TS_WINDOW '" + *window + "' (want ms > 0)");
+    }
+  }
+  if (const auto retention = env_get("CURB_TS_RETENTION")) {
+    std::uint64_t value = 0;
+    if (!parse_u64(*retention, value) || value == 0) {
+      return fail(error, "bad CURB_TS_RETENTION '" + *retention + "' (want n >= 1)");
+    }
+    opts.ts_retention = static_cast<std::size_t>(value);
+  }
+  if (const auto rules = env_get("CURB_SLO")) {
+    try {
+      (void)obs::SloRuleSet::parse(*rules);  // validate early, fail with context
+    } catch (const obs::SloError& e) {
+      return fail(error, e.what());
+    }
+    opts.slo_rules = *rules;
+  }
+  // CURB_TS_OUT without a width still wants telemetry: default the window.
+  if (!opts.ts_out.empty() && opts.ts_window <= sim::SimTime::zero()) {
+    opts.ts_window = sim::SimTime::millis(100);
+  }
+  return true;
+}
+
+}  // namespace curb::core

@@ -15,6 +15,8 @@
 #include "curb/net/message_bus.hpp"
 #include "curb/net/topology.hpp"
 #include "curb/obs/observatory.hpp"
+#include "curb/obs/slo.hpp"
+#include "curb/obs/timeseries.hpp"
 #include "curb/opt/cap.hpp"
 #include "curb/opt/solver.hpp"
 #include "curb/sdn/flow.hpp"
@@ -42,12 +44,26 @@ class CurbNetwork {
   /// Observability handle; nullptr unless options.observability is set.
   [[nodiscard]] obs::Observatory* observatory() { return observatory_.get(); }
 
+  /// Windowed telemetry collector; nullptr unless options.ts_window > 0 (or
+  /// options.slo_rules non-empty). Ticks from initialize() on.
+  [[nodiscard]] obs::TsCollector* ts() { return ts_.get(); }
+  /// SLO watchdog; nullptr unless options.slo_rules is non-empty.
+  [[nodiscard]] obs::SloEngine* slo() { return slo_.get(); }
+  /// Close the trailing partial telemetry window, run the final SLO pass,
+  /// and flush/close the JSONL stream. Idempotent; destruction also
+  /// flushes, so aborted runs never leave a truncated telemetry file.
+  void finalize_telemetry();
+
   /// Fault injector; nullptr unless options.fault_spec is non-empty.
   [[nodiscard]] fault::FaultInjector* fault_injector() { return fault_injector_.get(); }
   /// Copy the simulator's built-in counters (events executed, queue
   /// high-water) into the registry. Call before exporting metrics — the sim
   /// layer sits below obs and cannot push them itself.
   void snapshot_runtime_metrics();
+  /// Refresh the per-group load/size gauges (and epoch/group counts) from
+  /// an adopted assignment. Called at genesis and on every epoch adoption;
+  /// idempotent, so any controller adopting the same epoch may call it.
+  void record_assignment_metrics(const AssignmentState& state);
 
   [[nodiscard]] std::size_t num_controllers() const { return controllers_.size(); }
   [[nodiscard]] std::size_t num_switches() const { return switches_.size(); }
@@ -111,6 +127,13 @@ class CurbNetwork {
   std::unique_ptr<chain::Block> genesis_block_;
   bool initialized_ = false;
   std::unique_ptr<obs::Observatory> observatory_;
+  // slo_ before ts_: the collector's destructor closes the trailing window,
+  // which runs the SLO window callback — the engine must still be alive.
+  std::unique_ptr<obs::SloEngine> slo_;
+  std::unique_ptr<obs::TsCollector> ts_;
+  /// Highest group count ever published to the load gauges; lets adoption
+  /// zero the gauges of groups dissolved by a reassignment.
+  std::size_t published_groups_ = 0;
   std::unique_ptr<fault::FaultInjector> fault_injector_;
   std::unique_ptr<opt::CapSolver> cap_solver_;
 };

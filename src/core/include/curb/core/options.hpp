@@ -110,6 +110,23 @@ struct CurbOptions {
   /// check on each hot path.
   bool observability = false;
 
+  /// Windowed time-series telemetry (curb::obs::ts): zero disables the
+  /// collector; a nonzero width makes the network sample the metrics
+  /// registry every `ts_window` of virtual time into per-window deltas
+  /// (implies observability). Window closes are pure-read simulator events,
+  /// so same-seed runs stay byte-identical with telemetry on.
+  sim::SimTime ts_window = sim::SimTime::zero();
+  /// Closed windows retained in memory; older ones are evicted after the
+  /// streaming flush, so memory is O(retention), not run length.
+  std::size_t ts_retention = 64;
+  /// Stream closed windows to this JSONL path (curb-watch tails it live).
+  /// Empty keeps windows in memory only.
+  std::string ts_out;
+  /// SLO watchdog rules (curb::obs::slo grammar), evaluated at every window
+  /// close. Empty disables; non-empty implies ts_window (defaulted to
+  /// 100 ms when unset).
+  std::string slo_rules;
+
   /// RNG seed for the whole deployment.
   std::uint64_t seed = 42;
 

@@ -31,9 +31,21 @@ struct RoundMetrics {
 /// message counts — the quantities behind every figure in the paper.
 class CurbSimulation {
  public:
+  /// Tag selecting the deferred-initialization constructor.
+  struct DeferInit {};
+
   /// Uses the paper's Internet2 topology by default.
   explicit CurbSimulation(CurbOptions options);
   CurbSimulation(net::Topology topology, CurbOptions options);
+  /// Construct the network but skip Step 0: callers that want to survive an
+  /// infeasible-assignment failure (and still flush metrics/telemetry from
+  /// the constructed network) call initialize() themselves.
+  CurbSimulation(net::Topology topology, CurbOptions options, DeferInit);
+
+  /// Run Step 0 (throws std::runtime_error on an infeasible CAP instance).
+  /// Only needed after the DeferInit constructor.
+  void initialize();
+  [[nodiscard]] bool initialized() const { return network_->initialized(); }
 
   [[nodiscard]] CurbNetwork& network() { return *network_; }
   [[nodiscard]] const CurbNetwork& network() const { return *network_; }

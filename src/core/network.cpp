@@ -9,10 +9,35 @@ CurbNetwork::CurbNetwork(net::Topology topology, CurbOptions options)
     : topology_{std::move(topology)}, options_{options}, sim_{options.seed} {
   bus_ = std::make_unique<net::MessageBus<CurbMessage>>(sim_, topology_,
                                                         options_.link_model);
+  // The SLO watchdog needs windows to evaluate, and windows need the
+  // registry: slo_rules implies ts, and ts implies observability.
+  if (!options_.slo_rules.empty() && options_.ts_window <= sim::SimTime::zero()) {
+    options_.ts_window = sim::SimTime::millis(100);
+  }
+  if (options_.ts_window > sim::SimTime::zero()) options_.observability = true;
   if (options_.observability) {
     observatory_ = std::make_unique<obs::Observatory>();
     observatory_->enable(sim_);
     bus_->set_observatory(observatory_.get());
+  }
+  if (options_.ts_window > sim::SimTime::zero()) {
+    ts_ = std::make_unique<obs::TsCollector>(
+        *observatory_, sim_,
+        obs::TsOptions{options_.ts_window, options_.ts_retention});
+    ts_->set_presample_hook([this] { snapshot_runtime_metrics(); });
+    if (!options_.ts_out.empty() && !ts_->set_output(options_.ts_out)) {
+      throw std::runtime_error{"CurbNetwork: cannot open ts_out file " +
+                               options_.ts_out};
+    }
+    if (!options_.slo_rules.empty()) {
+      // Throws obs::SloError on a malformed rule set (curb-sim pre-parses
+      // for a friendlier message, like it does for fault specs).
+      slo_ = std::make_unique<obs::SloEngine>(obs::SloRuleSet::parse(options_.slo_rules));
+      ts_->set_window_callback(
+          [this](const obs::TsCollector& collector, const obs::TsWindow&) {
+            slo_->on_window(observatory_.get(), collector.windows());
+          });
+    }
   }
   controller_nodes_ = topology_.nodes_of_kind(net::NodeKind::kController);
   switch_nodes_ = topology_.nodes_of_kind(net::NodeKind::kSwitch);
@@ -313,7 +338,38 @@ void CurbNetwork::initialize() {
                  [s](net::NodeId from, const CurbMessage& msg) { s->on_message(from, msg); });
   }
   if (fault_injector_ != nullptr) schedule_node_events();
+  record_assignment_metrics(genesis_state_);
+  if (ts_ != nullptr) ts_->start();
   initialized_ = true;
+}
+
+void CurbNetwork::finalize_telemetry() {
+  if (ts_ != nullptr) ts_->finalize();
+}
+
+void CurbNetwork::record_assignment_metrics(const AssignmentState& state) {
+  if (observatory_ == nullptr) return;
+  auto& registry = observatory_->metrics;
+  registry.gauge("core.epoch").set(static_cast<double>(state.epoch()));
+  registry.gauge("core.groups").set(static_cast<double>(state.groups().size()));
+  registry.gauge("core.byzantine_excluded")
+      .set(static_cast<double>(state.byzantine().size()));
+  for (std::size_t g = 0; g < state.groups().size(); ++g) {
+    const auto label = std::to_string(g);
+    registry.gauge("core.group_load", {{"group", label}})
+        .set(static_cast<double>(state.groups()[g].switches.size()) *
+             options_.switch_load);
+    registry.gauge("core.group_size", {{"group", label}})
+        .set(static_cast<double>(state.groups()[g].members.size()));
+  }
+  // Zero out gauges of groups dissolved by this reassignment so the series
+  // does not freeze at its pre-reassignment value.
+  for (std::size_t g = state.groups().size(); g < published_groups_; ++g) {
+    const auto label = std::to_string(g);
+    registry.gauge("core.group_load", {{"group", label}}).set(0.0);
+    registry.gauge("core.group_size", {{"group", label}}).set(0.0);
+  }
+  published_groups_ = std::max(published_groups_, state.groups().size());
 }
 
 }  // namespace curb::core

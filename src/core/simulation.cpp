@@ -10,7 +10,14 @@ CurbSimulation::CurbSimulation(CurbOptions options)
     : CurbSimulation{net::internet2(), options} {}
 
 CurbSimulation::CurbSimulation(net::Topology topology, CurbOptions options)
-    : network_{std::make_unique<CurbNetwork>(std::move(topology), options)} {
+    : CurbSimulation{std::move(topology), options, DeferInit{}} {
+  initialize();
+}
+
+CurbSimulation::CurbSimulation(net::Topology topology, CurbOptions options, DeferInit)
+    : network_{std::make_unique<CurbNetwork>(std::move(topology), options)} {}
+
+void CurbSimulation::initialize() {
   network_->initialize();
   active_switches_ = network_->num_switches();
 }

@@ -1,6 +1,7 @@
 #include "curb/obs/export.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <istream>
@@ -11,12 +12,14 @@
 
 namespace curb::obs {
 
-namespace {
-
-/// Shortest round-trippable formatting for doubles; integers print without
-/// an exponent or trailing zeros so exports stay diffable.
-std::string format_double(double v) {
+std::string json_double(double v) {
   char buf[64];
+  // Integral values print as integers ("10", not "1e+01" — %.1g round-trips
+  // it, so the shortest-precision scan below would pick the latter).
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
   std::snprintf(buf, sizeof buf, "%.17g", v);
   // Prefer the shortest representation that round-trips.
   for (int precision = 1; precision < 17; ++precision) {
@@ -28,6 +31,8 @@ std::string format_double(double v) {
   }
   return buf;
 }
+
+namespace {
 
 void write_attrs(std::ostream& out, const Attrs& attrs) {
   out << "{";
@@ -269,7 +274,7 @@ void write_chrome_trace(const Tracer& tracer, const MetricsRegistry* registry,
           value = std::to_string(m.counter->value());
           break;
         case MetricsRegistry::Kind::kGauge:
-          value = format_double(m.gauge->value());
+          value = json_double(m.gauge->value());
           break;
         case MetricsRegistry::Kind::kHistogram:
           continue;  // histograms already export via write_metrics_json
@@ -298,17 +303,17 @@ void write_metrics_json(const MetricsRegistry& registry, std::ostream& out) {
         out << ",\"kind\":\"counter\",\"value\":" << m.counter->value();
         break;
       case MetricsRegistry::Kind::kGauge:
-        out << ",\"kind\":\"gauge\",\"value\":" << format_double(m.gauge->value());
+        out << ",\"kind\":\"gauge\",\"value\":" << json_double(m.gauge->value());
         break;
       case MetricsRegistry::Kind::kHistogram: {
         const Histogram& h = *m.histogram;
         out << ",\"kind\":\"histogram\",\"count\":" << h.count()
-            << ",\"sum\":" << format_double(h.sum()) << ",\"min\":" << format_double(h.min())
-            << ",\"max\":" << format_double(h.max())
-            << ",\"mean\":" << format_double(h.mean())
-            << ",\"p50\":" << format_double(h.percentile(50))
-            << ",\"p90\":" << format_double(h.percentile(90))
-            << ",\"p99\":" << format_double(h.percentile(99)) << ",\"buckets\":[";
+            << ",\"sum\":" << json_double(h.sum()) << ",\"min\":" << json_double(h.min())
+            << ",\"max\":" << json_double(h.max())
+            << ",\"mean\":" << json_double(h.mean())
+            << ",\"p50\":" << json_double(h.percentile(50))
+            << ",\"p90\":" << json_double(h.percentile(90))
+            << ",\"p99\":" << json_double(h.percentile(99)) << ",\"buckets\":[";
         bool first_bucket = true;
         for (std::size_t i = 0; i < h.bucket_count(); ++i) {
           if (h.count_at(i) == 0) continue;
@@ -318,7 +323,7 @@ void write_metrics_json(const MetricsRegistry& registry, std::ostream& out) {
           if (i + 1 == h.bucket_count()) {
             out << "\"+inf\"";
           } else {
-            out << format_double(h.upper_bound(i));
+            out << json_double(h.upper_bound(i));
           }
           out << ",\"count\":" << h.count_at(i) << "}";
         }
@@ -347,14 +352,14 @@ void write_metrics_csv(const MetricsRegistry& registry, std::ostream& out) {
         out << "counter,,,,,,,,," << m.counter->value() << "\n";
         break;
       case MetricsRegistry::Kind::kGauge:
-        out << "gauge,,,,,,,,," << format_double(m.gauge->value()) << "\n";
+        out << "gauge,,,,,,,,," << json_double(m.gauge->value()) << "\n";
         break;
       case MetricsRegistry::Kind::kHistogram: {
         const Histogram& h = *m.histogram;
-        out << "histogram," << h.count() << "," << format_double(h.sum()) << ","
-            << format_double(h.min()) << "," << format_double(h.max()) << ","
-            << format_double(h.mean()) << "," << format_double(h.percentile(50)) << ","
-            << format_double(h.percentile(90)) << "," << format_double(h.percentile(99))
+        out << "histogram," << h.count() << "," << json_double(h.sum()) << ","
+            << json_double(h.min()) << "," << json_double(h.max()) << ","
+            << json_double(h.mean()) << "," << json_double(h.percentile(50)) << ","
+            << json_double(h.percentile(90)) << "," << json_double(h.percentile(99))
             << ",\n";
         break;
       }

@@ -50,4 +50,9 @@ bool export_metrics_csv(const MetricsRegistry& registry, const std::string& path
 /// JSON string escaping (shared by the writers; exposed for tests).
 [[nodiscard]] std::string json_escape(const std::string& s);
 
+/// Shortest round-trippable JSON number formatting (shared by the writers:
+/// integers print without an exponent or trailing zeros, so exports stay
+/// byte-stable and diffable).
+[[nodiscard]] std::string json_double(double v);
+
 }  // namespace curb::obs

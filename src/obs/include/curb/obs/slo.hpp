@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "curb/obs/timeseries.hpp"
+
+namespace curb::obs {
+
+/// Declarative SLO rules over the windowed telemetry stream.
+///
+/// Grammar (';'-separated rules, whitespace-insensitive):
+///
+///   rule   := agg '(' series ')' op value [unit] ['over' N]
+///   agg    := p50 | p90 | p99 | mean | max | rate | count | sum | gauge
+///   op     := '<' | '<=' | '>' | '>=' | '==' | '!='
+///   value  := decimal number
+///   unit   := us | ms | s            (time values convert to microseconds)
+///   N      := trailing windows aggregated (default 1)
+///
+/// `series` is a registry series key, labels included, e.g.
+///   p99(core.request_latency_us) < 80ms over 5
+///   rate(net.dropped{category="REPLY",reason="fault"}) == 0
+///   gauge(sim.queue_high_water) < 20000
+///
+/// A rule asserts its comparison; a breach is recorded at each window close
+/// where the assertion fails. Aggregation over the trailing `over` windows:
+///   rate/count/sum  sum across windows (missing windows contribute 0)
+///   mean            total sum / total count of the histogram deltas
+///   p50/p90/p99     worst (max) per-window percentile with data
+///   gauge           most recent sampled value
+///   max             max of per-window values (gauge/rate) or p99 (hist)
+/// A rule with no data in the trailing windows does not fire: absence of
+/// evidence is not a breach (use rate()==0 assertions to demand silence).
+struct SloError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+enum class SloAgg : std::uint8_t {
+  kP50,
+  kP90,
+  kP99,
+  kMean,
+  kMax,
+  kRate,
+  kCount,
+  kSum,
+  kGauge,
+};
+
+enum class SloOp : std::uint8_t { kLt, kLe, kGt, kGe, kEq, kNe };
+
+[[nodiscard]] const char* to_string(SloAgg agg);
+[[nodiscard]] const char* to_string(SloOp op);
+
+struct SloRule {
+  SloAgg agg = SloAgg::kRate;
+  std::string series;
+  SloOp op = SloOp::kLt;
+  double limit = 0.0;      // after unit conversion (time limits in us)
+  std::size_t over = 1;    // trailing windows aggregated
+
+  /// Canonical text, e.g. "p99(core.request_latency_us) < 80000 over 5".
+  [[nodiscard]] std::string text() const;
+
+  /// Parse one rule; throws SloError with a pointed message.
+  [[nodiscard]] static SloRule parse(const std::string& text);
+};
+
+struct SloRuleSet {
+  std::vector<SloRule> rules;
+
+  /// Parse a ';'-separated rule list (empty string = empty set).
+  [[nodiscard]] static SloRuleSet parse(const std::string& text);
+};
+
+struct SloBreach {
+  std::uint64_t window = 0;  // index of the window whose close fired the rule
+  sim::SimTime at;           // window end (virtual time of the alert)
+  std::size_t rule = 0;      // index into the rule set
+  double observed = 0.0;
+  double limit = 0.0;
+};
+
+/// Aggregate `rule` over the trailing `rule.over` windows of `windows`
+/// (newest last). Returns nullopt when no window carried data for the
+/// series. Shared by the live engine and curb-watch's offline replay.
+[[nodiscard]] std::optional<double> evaluate_rule(const SloRule& rule,
+                                                  const std::deque<TsWindow>& windows);
+
+/// True when `observed op limit` holds (the rule's assertion passes).
+[[nodiscard]] bool slo_compare(SloOp op, double observed, double limit);
+
+/// Live watchdog: evaluates every rule at each window close. Breaches are
+/// recorded, counted into the `slo.breaches{rule=...}` metric, and emitted
+/// as `slo.breach` instants on the trace stream when an observatory is
+/// attached (alerts become part of the run's causal record).
+class SloEngine {
+ public:
+  explicit SloEngine(SloRuleSet rules) : rules_{std::move(rules)} {}
+
+  /// Evaluate at a window close. `obs` may be null (offline replay).
+  void on_window(Observatory* obs, const std::deque<TsWindow>& windows);
+
+  [[nodiscard]] const SloRuleSet& rules() const { return rules_; }
+  [[nodiscard]] const std::vector<SloBreach>& breaches() const { return breaches_; }
+  [[nodiscard]] bool breached() const { return !breaches_.empty(); }
+
+  /// Machine-readable breach report:
+  /// {"rules":[{"rule":"...","breaches":N,"worst":V}],"total_breaches":N,
+  ///  "breaches":[{"window":..,"at_us":..,"rule":"...","observed":..,
+  ///               "limit":..}]}
+  void write_report_json(std::ostream& out) const;
+  /// One line per breach, human-readable (stderr summaries).
+  void write_report_text(std::ostream& out) const;
+
+ private:
+  SloRuleSet rules_;
+  std::vector<SloBreach> breaches_;
+};
+
+}  // namespace curb::obs

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <sstream>
+#include <string>
+
+#include "curb/obs/observatory.hpp"
+#include "curb/obs/slo.hpp"
+#include "curb/obs/timeseries.hpp"
+
+namespace curb::obs {
+namespace {
+
+// ----------------------------------------------------------------- grammar
+
+TEST(SloGrammar, ParsesFullRule) {
+  const SloRule rule = SloRule::parse("p99(core.request_latency_us) < 80ms over 5");
+  EXPECT_EQ(rule.agg, SloAgg::kP99);
+  EXPECT_EQ(rule.series, "core.request_latency_us");
+  EXPECT_EQ(rule.op, SloOp::kLt);
+  EXPECT_DOUBLE_EQ(rule.limit, 80'000.0);  // ms -> us
+  EXPECT_EQ(rule.over, 5u);
+}
+
+TEST(SloGrammar, ParsesLabelledSeriesAndDefaults) {
+  const SloRule rule =
+      SloRule::parse("rate(net.dropped{category=\"REPLY\",reason=\"fault\"}) == 0");
+  EXPECT_EQ(rule.agg, SloAgg::kRate);
+  EXPECT_EQ(rule.series, "net.dropped{category=\"REPLY\",reason=\"fault\"}");
+  EXPECT_EQ(rule.op, SloOp::kEq);
+  EXPECT_DOUBLE_EQ(rule.limit, 0.0);
+  EXPECT_EQ(rule.over, 1u);
+}
+
+TEST(SloGrammar, ParsesUnitsAndOperators) {
+  EXPECT_DOUBLE_EQ(SloRule::parse("mean(x) <= 2s").limit, 2e6);
+  EXPECT_DOUBLE_EQ(SloRule::parse("max(x) >= 15us").limit, 15.0);
+  EXPECT_DOUBLE_EQ(SloRule::parse("gauge(x) != 1.5").limit, 1.5);
+  EXPECT_EQ(SloRule::parse("count(x) > 3").op, SloOp::kGt);
+  EXPECT_EQ(SloRule::parse("sum(x) < -2.5").limit, -2.5);
+}
+
+TEST(SloGrammar, RuleSetSplitsOnSemicolons) {
+  const SloRuleSet set =
+      SloRuleSet::parse("rate(a) > 0 ; p50(b) < 10ms over 2;; gauge(c) == 4");
+  ASSERT_EQ(set.rules.size(), 3u);
+  EXPECT_EQ(set.rules[0].series, "a");
+  EXPECT_EQ(set.rules[1].over, 2u);
+  EXPECT_EQ(set.rules[2].agg, SloAgg::kGauge);
+  EXPECT_TRUE(SloRuleSet::parse("").rules.empty());
+}
+
+TEST(SloGrammar, CanonicalTextRoundTrips) {
+  const char* texts[] = {
+      "p99(core.request_latency_us) < 80000 over 5",
+      "rate(net.dropped{category=\"REPLY\"}) == 0",
+      "gauge(sim.queue_high_water) <= 20000",
+  };
+  for (const char* text : texts) {
+    EXPECT_EQ(SloRule::parse(text).text(), text);
+    EXPECT_EQ(SloRule::parse(SloRule::parse(text).text()).text(), text);
+  }
+}
+
+TEST(SloGrammar, RejectsMalformedRules) {
+  EXPECT_THROW(SloRule::parse(""), SloError);
+  EXPECT_THROW(SloRule::parse("p42(x) < 1"), SloError);
+  EXPECT_THROW(SloRule::parse("p99(x < 1"), SloError);
+  EXPECT_THROW(SloRule::parse("p99() < 1"), SloError);
+  EXPECT_THROW(SloRule::parse("p99(x) ~ 1"), SloError);
+  EXPECT_THROW(SloRule::parse("p99(x) <"), SloError);
+  EXPECT_THROW(SloRule::parse("p99(x) < 1 over 0"), SloError);
+  EXPECT_THROW(SloRule::parse("p99(x) < 1 over 1.5"), SloError);
+  EXPECT_THROW(SloRule::parse("p99(x) < 1 junk"), SloError);
+  // "summary" must not lex as the aggregation "sum".
+  EXPECT_THROW(SloRule::parse("summary(x) < 1"), SloError);
+}
+
+// -------------------------------------------------------------- evaluation
+
+TsWindow window_with(std::uint64_t index,
+                     std::vector<std::pair<std::string, TsValue>> series) {
+  TsWindow w;
+  w.index = index;
+  w.start = sim::SimTime::millis(static_cast<std::int64_t>(index) * 100);
+  w.end = w.start + sim::SimTime::millis(100);
+  std::sort(series.begin(), series.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.series = std::move(series);
+  return w;
+}
+
+TsValue rate(double v) {
+  TsValue value;
+  value.kind = TsValue::Kind::kRate;
+  value.value = v;
+  return value;
+}
+
+TsValue gauge(double v) {
+  TsValue value;
+  value.kind = TsValue::Kind::kGauge;
+  value.value = v;
+  return value;
+}
+
+TsValue hist(std::uint64_t count, double sum, double p50, double p99) {
+  TsValue value;
+  value.kind = TsValue::Kind::kHist;
+  value.count = count;
+  value.sum = sum;
+  value.p50 = p50;
+  value.p90 = p99;
+  value.p99 = p99;
+  return value;
+}
+
+TEST(SloEvaluate, RateSumsOverTrailingWindowsWithMissingAsZero) {
+  std::deque<TsWindow> windows;
+  windows.push_back(window_with(0, {{"x", rate(3)}}));
+  windows.push_back(window_with(1, {}));
+  windows.push_back(window_with(2, {{"x", rate(5)}}));
+
+  EXPECT_DOUBLE_EQ(*evaluate_rule(SloRule::parse("rate(x) > 0 over 3"), windows), 8.0);
+  EXPECT_DOUBLE_EQ(*evaluate_rule(SloRule::parse("rate(x) > 0 over 2"), windows), 5.0);
+  // Newest window only: the missing middle window contributes nothing.
+  EXPECT_DOUBLE_EQ(*evaluate_rule(SloRule::parse("rate(x) > 0"), windows), 5.0);
+  // Absent series still totals zero (rate()==0 watchdogs must evaluate).
+  EXPECT_DOUBLE_EQ(*evaluate_rule(SloRule::parse("rate(y) == 0"), windows), 0.0);
+}
+
+TEST(SloEvaluate, PercentileTakesWorstWindow) {
+  std::deque<TsWindow> windows;
+  windows.push_back(window_with(0, {{"lat", hist(10, 1000, 90, 400)}}));
+  windows.push_back(window_with(1, {{"lat", hist(10, 1000, 120, 900)}}));
+  windows.push_back(window_with(2, {{"lat", hist(10, 1000, 80, 300)}}));
+
+  EXPECT_DOUBLE_EQ(*evaluate_rule(SloRule::parse("p99(lat) < 1s over 3"), windows),
+                   900.0);
+  EXPECT_DOUBLE_EQ(*evaluate_rule(SloRule::parse("p50(lat) < 1s over 3"), windows),
+                   120.0);
+  EXPECT_DOUBLE_EQ(*evaluate_rule(SloRule::parse("p99(lat) < 1s"), windows), 300.0);
+  EXPECT_DOUBLE_EQ(*evaluate_rule(SloRule::parse("max(lat) < 1s over 2"), windows),
+                   900.0);
+}
+
+TEST(SloEvaluate, MeanPoolsHistogramDeltas) {
+  std::deque<TsWindow> windows;
+  windows.push_back(window_with(0, {{"lat", hist(2, 200, 0, 0)}}));
+  windows.push_back(window_with(1, {{"lat", hist(8, 1800, 0, 0)}}));
+  // (200 + 1800) / (2 + 8), not the mean of per-window means.
+  EXPECT_DOUBLE_EQ(*evaluate_rule(SloRule::parse("mean(lat) < 1s over 2"), windows),
+                   200.0);
+}
+
+TEST(SloEvaluate, GaugeTakesLatestSample) {
+  std::deque<TsWindow> windows;
+  windows.push_back(window_with(0, {{"g", gauge(18)}}));
+  windows.push_back(window_with(1, {{"g", gauge(17)}}));
+  EXPECT_DOUBLE_EQ(*evaluate_rule(SloRule::parse("gauge(g) == 18 over 2"), windows),
+                   17.0);
+}
+
+TEST(SloEvaluate, NoDataIsNoVerdict) {
+  std::deque<TsWindow> windows;
+  EXPECT_FALSE(evaluate_rule(SloRule::parse("p99(lat) < 1s"), windows).has_value());
+  windows.push_back(window_with(0, {}));
+  EXPECT_FALSE(evaluate_rule(SloRule::parse("p99(lat) < 1s"), windows).has_value());
+  EXPECT_FALSE(evaluate_rule(SloRule::parse("gauge(g) == 1"), windows).has_value());
+}
+
+TEST(SloEvaluate, CountWindowsClampedToAvailable) {
+  std::deque<TsWindow> windows;
+  windows.push_back(window_with(0, {{"x", rate(2)}}));
+  EXPECT_DOUBLE_EQ(*evaluate_rule(SloRule::parse("rate(x) > 0 over 10"), windows),
+                   2.0);
+}
+
+// ------------------------------------------------------------------ engine
+
+TEST(SloEngine, RecordsBreachesAndEmitsAlerts) {
+  Observatory obs;
+  sim::Simulator sim{1};
+  obs.enable(sim);
+
+  SloEngine engine{SloRuleSet::parse("rate(err) == 0; gauge(depth) < 10")};
+  std::deque<TsWindow> windows;
+
+  windows.push_back(window_with(0, {{"depth", gauge(5)}}));
+  engine.on_window(&obs, windows);
+  EXPECT_FALSE(engine.breached());
+
+  windows.push_back(window_with(1, {{"err", rate(3)}, {"depth", gauge(12)}}));
+  engine.on_window(&obs, windows);
+  ASSERT_EQ(engine.breaches().size(), 2u);
+  EXPECT_TRUE(engine.breached());
+  EXPECT_EQ(engine.breaches()[0].window, 1u);
+  EXPECT_DOUBLE_EQ(engine.breaches()[0].observed, 3.0);
+  EXPECT_DOUBLE_EQ(engine.breaches()[1].observed, 12.0);
+
+  // Alerts land in the metrics registry (and the trace stream).
+  EXPECT_EQ(obs.metrics.counter("slo.breaches", {{"rule", "rate(err) == 0"}}).value(),
+            1u);
+
+  std::ostringstream json;
+  engine.write_report_json(json);
+  EXPECT_NE(json.str().find("\"total_breaches\":2"), std::string::npos);
+  EXPECT_NE(json.str().find("\"worst\":12"), std::string::npos);
+
+  std::ostringstream text;
+  engine.write_report_text(text);
+  EXPECT_NE(text.str().find("rate(err) == 0 violated"), std::string::npos);
+}
+
+TEST(SloEngine, NullObservatoryIsOfflineReplay) {
+  SloEngine engine{SloRuleSet::parse("rate(err) == 0")};
+  std::deque<TsWindow> windows;
+  windows.push_back(window_with(0, {{"err", rate(1)}}));
+  engine.on_window(nullptr, windows);
+  EXPECT_EQ(engine.breaches().size(), 1u);
+}
+
+}  // namespace
+}  // namespace curb::obs

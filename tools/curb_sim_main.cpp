@@ -24,6 +24,15 @@
 //     --metrics-csv FILE            (metrics registry snapshot, CSV)
 //     --phase-report                (per-phase latency breakdown after the run;
 //                                    implies tracing, see curb-trace for more)
+//     --ts-out FILE                 (windowed telemetry stream, one JSON object
+//                                    per closed window; tail with curb-watch)
+//     --ts-window MS                (telemetry window width in virtual ms;
+//                                    default 100 when telemetry is on)
+//     --ts-retention N              (closed windows kept in memory, default 64)
+//     --slo RULES                   (';'-separated SLO watchdog rules, e.g.
+//                                    "p99(core.request_latency_us) < 80ms over 5";
+//                                    a breach stops the run, exit code 3)
+//     --slo-out FILE                (machine-readable breach report, JSON)
 //     --fault SPEC                  (deterministic fault injection, e.g.
 //                                    "drop(p=0.05,cat=REPLY);crash(node=ctrl1,at=500)")
 //     --fault-seed S                (fault schedule seed, default 1; same
@@ -31,23 +40,35 @@
 //     --prof FILE                   (host-time profile, collapsed-stack format;
 //                                    feed into flamegraph.pl or curb-prof report)
 //     --prof-chrome FILE            (host-time profile as Chrome trace JSON)
+//     --help                        (this text plus the CURB_* env var table)
+//
+// Exit codes: 0 ok, 1 run/output failure, 2 usage, 3 SLO watchdog breach.
+//
+// CURB_* environment variables (see --help for the full table) are applied
+// first; command-line flags override them.
 //
 // Example: curb-sim --engine hotstuff --rounds 10 --load 3 --csv
 // Example: curb-sim --rounds 5 --trace t.json --metrics-out m.json
 // Example: curb-sim --rounds 5 --fault "delay(p=0.3,min=20,max=120,src=ctrl1)"
+// Example: curb-sim --rounds 20 --ts-out ts.jsonl --slo 'rate(bft.view_changes) == 0'
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
+#include "curb/core/env.hpp"
 #include "curb/core/simulation.hpp"
 #include "curb/fault/spec.hpp"
 #include "curb/obs/analysis.hpp"
 #include "curb/obs/export.hpp"
 #include "curb/obs/report.hpp"
+#include "curb/obs/slo.hpp"
 #include "curb/prof/export.hpp"
 #include "curb/prof/profiler.hpp"
 
@@ -67,7 +88,7 @@ struct CliOptions {
   bool parallel = true;
   double capacity = 12.0;
   double dcs_ms = 14.0;
-  std::string solver = "dense";
+  std::string solver;  // empty: CURB_SOLVER or the dense default
   double overhead_ms = 0.0;
   bool reassign = false;
   bool csv = false;
@@ -76,8 +97,13 @@ struct CliOptions {
   std::string metrics_json_file;
   std::string metrics_csv_file;
   bool phase_report = false;
+  std::string ts_out;
+  std::optional<double> ts_window_ms;
+  std::optional<std::size_t> ts_retention;
+  std::string slo_rules;
+  std::string slo_out;
   std::string fault_spec;
-  std::uint64_t fault_seed = 1;
+  std::optional<std::uint64_t> fault_seed;
   std::string prof_file;
   std::string prof_chrome_file;
 
@@ -91,8 +117,8 @@ struct CliOptions {
   }
 };
 
-[[noreturn]] void usage(const char* argv0) {
-  std::fprintf(stderr,
+void print_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
                "usage: %s [--topology internet2|random] [--controllers N]\n"
                "          [--switches M] [--seed S] [--f F] [--engine pbft|hotstuff]\n"
                "          [--rounds R] [--load L] [--parallel 0|1] [--capacity C]\n"
@@ -100,9 +126,22 @@ struct CliOptions {
                "          [--overhead MS] [--reassign] [--csv]\n"
                "          [--trace FILE] [--trace-jsonl FILE]\n"
                "          [--metrics-out FILE] [--metrics-csv FILE] [--phase-report]\n"
+               "          [--ts-out FILE] [--ts-window MS] [--ts-retention N]\n"
+               "          [--slo RULES] [--slo-out FILE]\n"
                "          [--fault SPEC] [--fault-seed S]\n"
-               "          [--prof FILE] [--prof-chrome FILE]\n",
+               "          [--prof FILE] [--prof-chrome FILE] [--help]\n"
+               "\n"
+               "environment (applied first; flags override; the bench binaries\n"
+               "honour the same variables):\n",
                argv0);
+  for (const curb::core::EnvVar& var : curb::core::curb_env_vars()) {
+    std::fprintf(out, "  %-18s %-24s %s\n", var.name, var.value_hint,
+                 var.description);
+  }
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  print_usage(stderr, argv0);
   std::exit(2);
 }
 
@@ -134,50 +173,106 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--metrics-out") opts.metrics_json_file = value();
     else if (arg == "--metrics-csv") opts.metrics_csv_file = value();
     else if (arg == "--phase-report") opts.phase_report = true;
+    else if (arg == "--ts-out") opts.ts_out = value();
+    else if (arg == "--ts-window") opts.ts_window_ms = std::strtod(value(), nullptr);
+    else if (arg == "--ts-retention") opts.ts_retention = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--slo") opts.slo_rules = value();
+    else if (arg == "--slo-out") opts.slo_out = value();
     else if (arg == "--fault") opts.fault_spec = value();
     else if (arg == "--fault-seed") opts.fault_seed = std::strtoull(value(), nullptr, 10);
     else if (arg == "--prof") opts.prof_file = value();
     else if (arg == "--prof-chrome") opts.prof_chrome_file = value();
+    else if (arg == "--help" || arg == "-h") {
+      print_usage(stdout, argv[0]);
+      std::exit(0);
+    }
     else usage(argv[0]);
   }
   return opts;
 }
 
+/// Default an unset CLI path from its environment variable.
+void env_default(std::string& field, const char* var) {
+  if (field.empty()) {
+    if (const auto value = curb::core::env_get(var)) field = *value;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliOptions cli = parse(argc, argv);
+  CliOptions cli = parse(argc, argv);
+  // Output-path options without a dedicated CurbOptions field fall back to
+  // their env vars so curb-sim honours the whole documented table.
+  env_default(cli.trace_file, "CURB_TRACE");
+  env_default(cli.trace_jsonl_file, "CURB_TRACE_JSONL");
+  env_default(cli.metrics_json_file, "CURB_METRICS_OUT");
+  env_default(cli.metrics_csv_file, "CURB_METRICS_CSV");
+  env_default(cli.slo_out, "CURB_SLO_OUT");
+  env_default(cli.prof_file, "CURB_PROF");
+  env_default(cli.prof_chrome_file, "CURB_PROF_CHROME");
 
   curb::core::CurbOptions options;
+  // Environment first, explicit flags override.
+  std::string env_error;
+  if (!curb::core::apply_env_to_options(options, &env_error)) {
+    std::fprintf(stderr, "curb-sim: %s\n", env_error.c_str());
+    return 2;
+  }
   options.f = cli.f;
   options.seed = cli.seed;
   options.parallel = cli.parallel;
   options.controller_capacity = cli.capacity;
   options.max_cs_delay_ms =
       cli.dcs_ms > 0 ? cli.dcs_ms : curb::opt::CapInstance::kNoLimit;
-  if (const auto backend = curb::opt::parse_cap_solver_backend(cli.solver)) {
-    options.op_solver = *backend;
-  } else {
-    std::fprintf(stderr, "curb-sim: unknown --solver '%s'\n", cli.solver.c_str());
-    usage(argv[0]);
+  if (!cli.solver.empty()) {
+    if (const auto backend = curb::opt::parse_cap_solver_backend(cli.solver)) {
+      options.op_solver = *backend;
+    } else {
+      std::fprintf(stderr, "curb-sim: unknown --solver '%s'\n", cli.solver.c_str());
+      usage(argv[0]);
+    }
   }
   options.link_model.per_message_overhead =
       curb::sim::SimTime::from_seconds_f(cli.overhead_ms / 1000.0);
   options.reass_always_solve = cli.reassign;
   options.observability = cli.observability();
-  options.fault_spec = cli.fault_spec;
-  options.fault_seed = cli.fault_seed;
+  if (!cli.fault_spec.empty()) options.fault_spec = cli.fault_spec;
+  if (cli.fault_seed) options.fault_seed = *cli.fault_seed;
+  if (!cli.ts_out.empty()) options.ts_out = cli.ts_out;
+  if (cli.ts_window_ms) {
+    if (!(*cli.ts_window_ms > 0.0)) {
+      std::fprintf(stderr, "curb-sim: --ts-window wants ms > 0\n");
+      return 2;
+    }
+    options.ts_window = curb::sim::SimTime::micros(
+        static_cast<std::int64_t>(std::llround(*cli.ts_window_ms * 1000.0)));
+  }
+  if (cli.ts_retention) options.ts_retention = *cli.ts_retention;
+  if (!cli.slo_rules.empty()) options.slo_rules = cli.slo_rules;
+  // --ts-out without a width still wants telemetry (mirrors CURB_TS_OUT).
+  if (!options.ts_out.empty() && options.ts_window <= curb::sim::SimTime::zero()) {
+    options.ts_window = curb::sim::SimTime::millis(100);
+  }
   if (cli.engine == "hotstuff") {
     options.consensus_engine = curb::bft::ConsensusEngine::kHotstuff;
   } else if (cli.engine != "pbft") {
     usage(argv[0]);
   }
 
-  if (!cli.fault_spec.empty()) {
+  if (!options.fault_spec.empty()) {
     try {
-      (void)curb::fault::FaultPlan::parse(cli.fault_spec, cli.fault_seed);
+      (void)curb::fault::FaultPlan::parse(options.fault_spec, options.fault_seed);
     } catch (const curb::fault::SpecError& e) {
       std::fprintf(stderr, "curb-sim: bad --fault spec: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (!options.slo_rules.empty()) {
+    try {
+      (void)curb::obs::SloRuleSet::parse(options.slo_rules);
+    } catch (const curb::obs::SloError& e) {
+      std::fprintf(stderr, "curb-sim: %s\n", e.what());
       return 2;
     }
   }
@@ -195,55 +290,22 @@ int main(int argc, char** argv) {
                       : curb::net::internet2();
   if (cli.topology != "random" && cli.topology != "internet2") usage(argv[0]);
 
-  // OP() throws when no feasible initial assignment exists — easy to hit
-  // with --topology random at low controller counts, or --solver heuristic
-  // on the marginally-feasible default Internet2 instance (the heuristic
-  // has no optimality proof and can miss groupings the exact backends
-  // find). Surface it as a clean error, not an abort.
   std::optional<curb::core::CurbSimulation> sim_storage;
   try {
-    sim_storage.emplace(std::move(topology), options);
-  } catch (const std::runtime_error& e) {
+    sim_storage.emplace(std::move(topology), options,
+                        curb::core::CurbSimulation::DeferInit{});
+  } catch (const std::exception& e) {
+    // Unopenable --ts-out, a too-small topology, and the like: no network
+    // exists yet, nothing to flush.
     std::fprintf(stderr, "curb-sim: %s\n", e.what());
     return 1;
   }
   curb::core::CurbSimulation& sim = *sim_storage;
-  const auto& state = sim.network().genesis_state();
-  if (!cli.csv) {
-    std::printf("curb-sim: %zu controllers, %zu switches, %zu groups, engine=%s\n",
-                sim.network().num_controllers(), sim.network().num_switches(),
-                state.groups().size(), cli.engine.c_str());
-    std::printf("%-8s%-10s%-10s%-14s%-12s%-12s\n", "round", "issued", "served",
-                "latency_ms", "tps", "messages");
-  } else {
-    std::printf("round,issued,served,latency_ms,tps,messages\n");
-  }
 
-  for (std::size_t round = 1; round <= cli.rounds; ++round) {
-    const curb::core::RoundMetrics m =
-        cli.reassign ? sim.run_reassignment_round(sim.active_switches())
-                     : sim.run_packet_in_round(cli.load);
-    if (cli.csv) {
-      std::printf("%zu,%zu,%zu,%.3f,%.3f,%llu\n", round, m.issued, m.accepted,
-                  m.mean_latency_ms, m.throughput_tps,
-                  static_cast<unsigned long long>(m.messages));
-    } else {
-      std::printf("%-8zu%-10zu%-10zu%-14.1f%-12.1f%-12llu\n", round, m.issued,
-                  m.accepted, m.mean_latency_ms, m.throughput_tps,
-                  static_cast<unsigned long long>(m.messages));
-    }
-  }
-  if (!cli.csv) {
-    std::printf("\nchain height %llu, consistent: %s, no fork: %s, "
-                "total messages %llu\n",
-                static_cast<unsigned long long>(sim.chain_height()),
-                sim.chains_consistent() ? "yes" : "NO",
-                sim.chains_prefix_consistent() ? "yes" : "NO",
-                static_cast<unsigned long long>(sim.total_messages()));
-  }
-
-  if (curb::obs::Observatory* obsy = sim.network().observatory(); obsy != nullptr) {
-    sim.network().snapshot_runtime_metrics();
+  // Every requested output is written through here, on every exit path —
+  // an aborted run (infeasible assignment, SLO breach) still flushes and
+  // closes its metrics/telemetry files, truncated to what actually ran.
+  auto flush_outputs = [&]() -> bool {
     bool ok = true;
     auto check = [&ok](bool wrote, const std::string& path) {
       if (!wrote) {
@@ -251,6 +313,27 @@ int main(int argc, char** argv) {
         ok = false;
       }
     };
+    sim.network().finalize_telemetry();
+    if (curb::obs::SloEngine* slo = sim.network().slo(); slo != nullptr) {
+      if (!cli.slo_out.empty()) {
+        std::ofstream out{cli.slo_out, std::ios::binary | std::ios::trunc};
+        if (out) {
+          slo->write_report_json(out);
+        } else {
+          check(false, cli.slo_out);
+        }
+      }
+      if (slo->breached()) {
+        std::fprintf(stderr, "curb-sim: %zu SLO breach(es):\n",
+                     slo->breaches().size());
+        std::ostringstream text;
+        slo->write_report_text(text);
+        std::fputs(text.str().c_str(), stderr);
+      }
+    }
+    curb::obs::Observatory* obsy = sim.network().observatory();
+    if (obsy == nullptr) return ok;
+    sim.network().snapshot_runtime_metrics();
     if (!cli.trace_file.empty()) {
       check(curb::obs::export_chrome_trace(obsy->tracer, &obsy->metrics, cli.trace_file),
             cli.trace_file);
@@ -272,8 +355,68 @@ int main(int argc, char** argv) {
       curb::obs::write_report_text(curb::obs::TraceAnalysis::from_tracer(obsy->tracer),
                                    std::cout);
     }
-    if (!ok) return 1;
+    return ok;
+  };
+
+  // OP() throws when no feasible initial assignment exists — easy to hit
+  // with --topology random at low controller counts, or --solver heuristic
+  // on the marginally-feasible default Internet2 instance (the heuristic
+  // has no optimality proof and can miss groupings the exact backends
+  // find). Surface it as a clean error, not an abort — and still flush the
+  // requested outputs from the constructed network.
+  try {
+    sim.initialize();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "curb-sim: %s\n", e.what());
+    (void)flush_outputs();
+    return 1;
   }
+
+  const auto& state = sim.network().genesis_state();
+  if (!cli.csv) {
+    std::printf("curb-sim: %zu controllers, %zu switches, %zu groups, engine=%s\n",
+                sim.network().num_controllers(), sim.network().num_switches(),
+                state.groups().size(), cli.engine.c_str());
+    std::printf("%-8s%-10s%-10s%-14s%-12s%-12s\n", "round", "issued", "served",
+                "latency_ms", "tps", "messages");
+  } else {
+    std::printf("round,issued,served,latency_ms,tps,messages\n");
+  }
+
+  bool watchdog_fired = false;
+  for (std::size_t round = 1; round <= cli.rounds; ++round) {
+    const curb::core::RoundMetrics m =
+        cli.reassign ? sim.run_reassignment_round(sim.active_switches())
+                     : sim.run_packet_in_round(cli.load);
+    if (cli.csv) {
+      std::printf("%zu,%zu,%zu,%.3f,%.3f,%llu\n", round, m.issued, m.accepted,
+                  m.mean_latency_ms, m.throughput_tps,
+                  static_cast<unsigned long long>(m.messages));
+    } else {
+      std::printf("%-8zu%-10zu%-10zu%-14.1f%-12.1f%-12llu\n", round, m.issued,
+                  m.accepted, m.mean_latency_ms, m.throughput_tps,
+                  static_cast<unsigned long long>(m.messages));
+    }
+    // Watchdog: an SLO breach aborts the remaining rounds. Outputs are still
+    // flushed below, so the breach report and partial telemetry survive.
+    if (curb::obs::SloEngine* slo = sim.network().slo();
+        slo != nullptr && slo->breached()) {
+      watchdog_fired = true;
+      std::fprintf(stderr, "curb-sim: SLO watchdog fired after round %zu\n", round);
+      break;
+    }
+  }
+  if (!cli.csv && !watchdog_fired) {
+    std::printf("\nchain height %llu, consistent: %s, no fork: %s, "
+                "total messages %llu\n",
+                static_cast<unsigned long long>(sim.chain_height()),
+                sim.chains_consistent() ? "yes" : "NO",
+                sim.chains_prefix_consistent() ? "yes" : "NO",
+                static_cast<unsigned long long>(sim.total_messages()));
+  }
+
+  const bool outputs_ok = flush_outputs();
+
   if (cli.profiling()) {
     curb::prof::set_thread_profiler(nullptr);
     bool ok = true;
@@ -304,11 +447,14 @@ int main(int argc, char** argv) {
     if (!ok) return 1;
   }
 
+  if (watchdog_fired) return 3;
+  if (!outputs_ok) return 1;
+
   // Clean runs must end fully converged (equal tips). A faulted run may
   // legitimately stop with live controllers lagging (deliveries still in
   // flight) or crashed without recovery, so only a genuine fork — diverging
   // blocks at a common height — fails it.
-  const bool ok_chains = cli.fault_spec.empty() ? sim.chains_consistent()
-                                                : sim.chains_prefix_consistent();
+  const bool ok_chains = options.fault_spec.empty() ? sim.chains_consistent()
+                                                    : sim.chains_prefix_consistent();
   return ok_chains ? 0 : 1;
 }
