@@ -23,6 +23,8 @@
 #include "curb/obs/analysis.hpp"
 #include "curb/obs/export.hpp"
 #include "curb/obs/report.hpp"
+#include "curb/obs/res/account.hpp"
+#include "curb/obs/res/report.hpp"
 #include "curb/prof/export.hpp"
 #include "curb/prof/profiler.hpp"
 #include "curb/sim/stats.hpp"
@@ -35,6 +37,13 @@ namespace curb::bench {
 /// process profiler for the main thread; at exit the profile files are
 /// written and a one-line host summary is printed. Host time never feeds the
 /// virtual clock, so profiled runs stay byte-identical to unprofiled ones.
+///
+/// Memory accounting rides the same exit path: CURB_MEM_OUT writes the
+/// per-tag allocation profile (curb-prof mem-report/mem-diff input) and
+/// CURB_MEM_FOLDED the collapsed-stack memory flamegraph (bytes per
+/// attribution frame; implies installing the profiler, which supplies the
+/// frames). Either latches the allocation accountant on — see
+/// curb::obs::res.
 class HostProfile {
  public:
   /// Idempotent; benches call this from print_header so any bench binary
@@ -47,13 +56,16 @@ class HostProfile {
   HostProfile() {
     if (const char* path = std::getenv("CURB_PROF")) collapsed_path_ = path;
     if (const char* path = std::getenv("CURB_PROF_CHROME")) chrome_path_ = path;
-    active_ = !collapsed_path_.empty() || !chrome_path_.empty();
+    if (const char* path = std::getenv("CURB_MEM_OUT")) mem_out_path_ = path;
+    if (const char* path = std::getenv("CURB_MEM_FOLDED")) mem_folded_path_ = path;
+    active_ = !collapsed_path_.empty() || !chrome_path_.empty() ||
+              !mem_folded_path_.empty();
     if (active_) prof::set_thread_profiler(&profiler_);
   }
 
   ~HostProfile() {
-    if (!active_) return;
-    prof::set_thread_profiler(nullptr);
+    if (!active_ && mem_out_path_.empty()) return;
+    if (active_) prof::set_thread_profiler(nullptr);
     const double wall_s = wall_.elapsed_ms() / 1000.0;
     const std::uint64_t events = profiler_.calls("sim.event");
     std::string written;
@@ -64,9 +76,34 @@ class HostProfile {
       if (!written.empty()) written += ", ";
       written += chrome_path_;
     }
-    std::fprintf(stderr, "host: wall=%.2fs events/s=%.0f profile written to %s\n",
-                 wall_s, wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0,
-                 written.empty() ? "(none)" : written.c_str());
+    if (obs::res::enabled()) {
+      const obs::res::MemSnapshot snap = obs::res::snapshot();
+      if (!mem_out_path_.empty() &&
+          obs::res::export_mem_profile(snap, mem_out_path_)) {
+        if (!written.empty()) written += ", ";
+        written += mem_out_path_;
+      }
+      if (!mem_folded_path_.empty() &&
+          obs::res::export_mem_collapsed(profiler_, obs::res::frame_allocations(),
+                                         mem_folded_path_)) {
+        if (!written.empty()) written += ", ";
+        written += mem_folded_path_;
+      }
+      const double denom = snap.total.alloc_bytes > 0
+                               ? static_cast<double>(snap.total.alloc_bytes)
+                               : 1.0;
+      std::fprintf(stderr,
+                   "mem: alloc=%.1fMiB peak=%.1fMiB tagged=%.1f%%\n",
+                   static_cast<double>(snap.total.alloc_bytes) / (1024.0 * 1024.0),
+                   static_cast<double>(snap.total.peak_live_bytes) /
+                       (1024.0 * 1024.0),
+                   100.0 * static_cast<double>(snap.tagged_alloc_bytes()) / denom);
+    }
+    if (active_) {
+      std::fprintf(stderr, "host: wall=%.2fs events/s=%.0f profile written to %s\n",
+                   wall_s, wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0,
+                   written.empty() ? "(none)" : written.c_str());
+    }
   }
 
   static HostProfile& instance() {
@@ -80,6 +117,8 @@ class HostProfile {
   prof::StopWatch wall_;
   std::string collapsed_path_;
   std::string chrome_path_;
+  std::string mem_out_path_;
+  std::string mem_folded_path_;
   bool active_ = false;
 };
 
@@ -173,6 +212,7 @@ class BenchResults {
     }
     entry << "}";
     append_host_section(entry, network);
+    append_memory_section(entry, network);
     if (network != nullptr && network->observatory() != nullptr) {
       const obs::TraceAnalysis analysis =
           obs::TraceAnalysis::from_tracer(network->observatory()->tracer);
@@ -238,6 +278,48 @@ class BenchResults {
     entry << "}";
   }
 
+  /// Memory section (only when the allocation accountant is latched on):
+  /// bytes/allocations since the previous entry plus the peak live footprint
+  /// over that interval (peaks reset per entry so each configuration reports
+  /// its own high-water). allocs_per_event and bytes_per_committed_txn are
+  /// normalized against *this* entry's network — benches build a fresh
+  /// network per configuration, so its lifetime totals are the entry's.
+  /// Machine-dependent like host.*: perf-diff holds memory.* to the looser
+  /// warn-only thresholds.
+  static void append_memory_section(std::ostringstream& entry,
+                                    core::CurbNetwork* network) {
+    if (!obs::res::enabled()) return;
+    const obs::res::MemSnapshot snap = obs::res::snapshot();
+    auto& prev = instance().mem_prev_;
+    const std::uint64_t alloc_bytes = snap.total.alloc_bytes - prev.alloc_bytes;
+    const std::uint64_t allocs = snap.total.allocs - prev.allocs;
+    prev = snap.total;
+    entry << ",\"memory\":{\"peak_live_bytes\":" << snap.total.peak_live_bytes
+          << ",\"alloc_bytes\":" << alloc_bytes << ",\"allocs\":" << allocs;
+    if (network != nullptr) {
+      const auto events = network->simulator().events_executed();
+      if (events > 0) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.2f",
+                      static_cast<double>(allocs) / static_cast<double>(events));
+        entry << ",\"allocs_per_event\":" << buf;
+      }
+      if (network->num_controllers() > 0 && network->controller(0).has_blockchain()) {
+        const std::size_t txns =
+            network->controller(0).blockchain().total_transactions();
+        if (txns > 0) {
+          char buf[64];
+          std::snprintf(buf, sizeof buf, "%.1f",
+                        static_cast<double>(alloc_bytes) /
+                            static_cast<double>(txns));
+          entry << ",\"bytes_per_committed_txn\":" << buf;
+        }
+      }
+    }
+    entry << "}";
+    obs::res::reset_peaks();
+  }
+
   /// Windowed-telemetry section: per-series summary over the retained ring
   /// (bounded by ts_retention, so entries stay small no matter how long the
   /// configuration ran). Full resolution lives in the CURB_TS_OUT JSONL.
@@ -300,6 +382,7 @@ class BenchResults {
   std::vector<std::string> entries_;
   prof::StopWatch entry_wall_;
   std::map<std::string, std::uint64_t> component_ns_;
+  obs::res::TagCounters mem_prev_;
 };
 
 /// Write whatever the CURB_* env vars request from this network's

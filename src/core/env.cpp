@@ -32,6 +32,13 @@ const std::vector<EnvVar>& curb_env_vars() {
        "disables)"},
       {"CURB_PROF", "path", "collapsed-stack host profile (flamegraph.pl)"},
       {"CURB_PROF_CHROME", "path", "Chrome-trace host profile"},
+      {"CURB_MEM_ACCOUNT", "0|1",
+       "latch the tagged allocation accountant on (curb::obs::res)"},
+      {"CURB_MEM_OUT", "path",
+       "write the per-tag memory profile JSON (implies CURB_MEM_ACCOUNT=1)"},
+      {"CURB_MEM_FOLDED", "path",
+       "collapsed-stack memory flamegraph, bytes per frame (implies "
+       "CURB_MEM_ACCOUNT=1)"},
   };
   return vars;
 }
@@ -61,6 +68,8 @@ bool fail(std::string* error, std::string message) {
 }
 
 bool parse_u64(const std::string& text, std::uint64_t& out) {
+  // stoull accepts "-7" by wrapping it to 2^64-7 — require plain digits.
+  if (text.empty() || (text[0] < '0' || text[0] > '9')) return false;
   try {
     std::size_t used = 0;
     out = std::stoull(text, &used);
@@ -116,9 +125,14 @@ bool apply_env_to_options(CurbOptions& opts, std::string* error) {
   }
   if (const auto rules = env_get("CURB_SLO")) {
     try {
-      (void)obs::SloRuleSet::parse(*rules);  // validate early, fail with context
+      // Validate early so a typo'd pipeline fails at startup, not mid-run.
+      // A value of only separators/whitespace parses to zero rules — treat
+      // that as an error too: the user asked for a watchdog and got none.
+      if (obs::SloRuleSet::parse(*rules).rules.empty()) {
+        return fail(error, "bad CURB_SLO '" + *rules + "' (contains no rules)");
+      }
     } catch (const obs::SloError& e) {
-      return fail(error, e.what());
+      return fail(error, "bad CURB_SLO: " + std::string{e.what()});
     }
     opts.slo_rules = *rules;
   }

@@ -3,10 +3,17 @@
 #include <stdexcept>
 #include <string>
 
+#include "curb/obs/res/account.hpp"
+
 namespace curb::core {
 
 CurbNetwork::CurbNetwork(net::Topology topology, CurbOptions options)
     : topology_{std::move(topology)}, options_{options}, sim_{options.seed} {
+  // Referencing the accountant forces its object file (which carries the
+  // global operator new/delete replacement) into every binary that links
+  // curb::core — a static-library archive member is only pulled in when a
+  // symbol of it is named.
+  (void)obs::res::enabled();
   bus_ = std::make_unique<net::MessageBus<CurbMessage>>(sim_, topology_,
                                                         options_.link_model);
   // The SLO watchdog needs windows to evaluate, and windows need the
@@ -262,6 +269,34 @@ void CurbNetwork::snapshot_runtime_metrics() {
   registry.gauge("sim.queue_high_water")
       .set(static_cast<double>(sim_.queue_high_water()));
   registry.gauge("sim.now_us").set(static_cast<double>(sim_.now().as_micros()));
+
+  // Backlog gauges. All virtual-time quantities — deterministic per seed, so
+  // they are safe to feed into ts windows and SLO rules (e.g.
+  // "max(sim.event_queue_depth) < 200000 over 5").
+  registry.gauge("sim.event_queue_depth")
+      .set(static_cast<double>(sim_.pending_events()));
+  registry.gauge("sim.sched_lag_us", {{"q", "p50"}})
+      .set(static_cast<double>(sim_.sched_lag_percentile_us(50.0)));
+  registry.gauge("sim.sched_lag_us", {{"q", "p90"}})
+      .set(static_cast<double>(sim_.sched_lag_percentile_us(90.0)));
+  registry.gauge("sim.sched_lag_us", {{"q", "p99"}})
+      .set(static_cast<double>(sim_.sched_lag_percentile_us(99.0)));
+  registry.gauge("sim.sched_lag_us", {{"q", "max"}})
+      .set(static_cast<double>(sim_.sched_lag_max_us()));
+
+  const net::MessageStats& stats = bus_->stats();
+  registry.gauge("net.in_flight_total")
+      .set(static_cast<double>(stats.in_flight_total()));
+  for (const auto& [category, entry] : stats.categories()) {
+    registry.gauge("net.in_flight", {{"category", category}})
+        .set(static_cast<double>(entry.in_flight_count));
+    registry.gauge("net.in_flight_bytes", {{"category", category}})
+        .set(static_cast<double>(entry.in_flight_bytes));
+  }
+  for (std::size_t node = 0; node < stats.pending_inbox_nodes(); ++node) {
+    registry.gauge("net.inbox_pending", {{"node", std::to_string(node)}})
+        .set(static_cast<double>(stats.pending_inbox(node)));
+  }
 }
 
 std::vector<sdn::FlowEntry> CurbNetwork::compute_flow_entries(

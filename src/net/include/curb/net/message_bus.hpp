@@ -30,15 +30,50 @@ struct BusFaultAction {
 
 /// Per-category message accounting. Theorem 1 in the paper bounds the
 /// *number* of messages per round; the bus counts every send so benches can
-/// measure the bound directly instead of arguing about it.
+/// measure the bound directly instead of arguing about it. On top of the
+/// cumulative counters the stats track the *backlog*: messages scheduled but
+/// not yet delivered, per category (count + bytes) and per destination node
+/// (pending-inbox depth) — the virtual-time analogue of socket queue depth.
 class MessageStats {
  public:
+  struct Entry {
+    std::uint64_t count = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t in_flight_count = 0;
+    std::uint64_t in_flight_bytes = 0;
+  };
+
   void record(const std::string& category, std::size_t bytes) {
     auto& entry = by_category_[category];
     ++entry.count;
     entry.bytes += bytes;
     ++total_count_;
     total_bytes_ += bytes;
+  }
+
+  /// Register one scheduled delivery headed for node `to`. The returned
+  /// Entry* stays valid for the life of the stats object (map nodes are
+  /// stable and reset() zeroes in place), so the delivery callback can
+  /// balance with end_flight without a map lookup.
+  Entry* begin_flight(const std::string& category, std::size_t bytes,
+                      std::size_t to) {
+    auto& entry = by_category_[category];
+    ++entry.in_flight_count;
+    entry.in_flight_bytes += bytes;
+    if (pending_inbox_.size() <= to) pending_inbox_.resize(to + 1, 0);
+    ++pending_inbox_[to];
+    ++in_flight_total_;
+    return &entry;
+  }
+
+  /// Balance a begin_flight at delivery time. Clamped at zero so a reset()
+  /// with deliveries still in flight cannot wrap the gauges negative.
+  void end_flight(Entry* entry, std::size_t bytes, std::size_t to) {
+    if (entry->in_flight_count > 0) --entry->in_flight_count;
+    entry->in_flight_bytes -=
+        bytes < entry->in_flight_bytes ? bytes : entry->in_flight_bytes;
+    if (to < pending_inbox_.size() && pending_inbox_[to] > 0) --pending_inbox_[to];
+    if (in_flight_total_ > 0) --in_flight_total_;
   }
 
   [[nodiscard]] std::uint64_t total_messages() const { return total_count_; }
@@ -51,26 +86,48 @@ class MessageStats {
     const auto it = by_category_.find(category);
     return it == by_category_.end() ? 0 : it->second.bytes;
   }
+  [[nodiscard]] std::uint64_t in_flight_messages(const std::string& category) const {
+    const auto it = by_category_.find(category);
+    return it == by_category_.end() ? 0 : it->second.in_flight_count;
+  }
+  [[nodiscard]] std::uint64_t in_flight_bytes(const std::string& category) const {
+    const auto it = by_category_.find(category);
+    return it == by_category_.end() ? 0 : it->second.in_flight_bytes;
+  }
+  /// Scheduled-but-undelivered messages across all categories.
+  [[nodiscard]] std::uint64_t in_flight_total() const { return in_flight_total_; }
+  /// Scheduled-but-undelivered messages headed for one node.
+  [[nodiscard]] std::uint64_t pending_inbox(std::size_t node) const {
+    return node < pending_inbox_.size() ? pending_inbox_[node] : 0;
+  }
+  [[nodiscard]] std::size_t pending_inbox_nodes() const {
+    return pending_inbox_.size();
+  }
   [[nodiscard]] std::map<std::string, std::pair<std::uint64_t, std::uint64_t>>
   snapshot() const {
     std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> out;
     for (const auto& [k, v] : by_category_) out[k] = {v.count, v.bytes};
     return out;
   }
+  [[nodiscard]] const std::map<std::string, Entry>& categories() const {
+    return by_category_;
+  }
+  /// Zero every counter *in place* — category entries are kept (not erased)
+  /// so Entry pointers handed out by begin_flight stay valid across a reset.
   void reset() {
-    by_category_.clear();
+    for (auto& [category, entry] : by_category_) entry = Entry{};
+    for (auto& depth : pending_inbox_) depth = 0;
     total_count_ = 0;
     total_bytes_ = 0;
+    in_flight_total_ = 0;
   }
 
  private:
-  struct Entry {
-    std::uint64_t count = 0;
-    std::uint64_t bytes = 0;
-  };
   std::map<std::string, Entry> by_category_;
+  std::vector<std::uint64_t> pending_inbox_;  // by destination node index
   std::uint64_t total_count_ = 0;
   std::uint64_t total_bytes_ = 0;
+  std::uint64_t in_flight_total_ = 0;
 };
 
 /// Simulated transport connecting topology nodes, replacing the paper's
@@ -151,7 +208,9 @@ class MessageBus {
       }
       delay += action.extra_delay;
       for (const sim::SimTime offset : action.duplicates) {
-        sim_.schedule(delay + offset, [this, from, to, payload] {
+        MessageStats::Entry* flight = stats_.begin_flight(category, bytes, to.value);
+        sim_.schedule(delay + offset, [this, from, to, payload, flight, bytes] {
+          stats_.end_flight(flight, bytes, to.value);
           deliver(from, to, payload);
         });
       }
@@ -162,7 +221,9 @@ class MessageBus {
       series.bytes->inc(bytes);
       series.delay_us->record(static_cast<double>(delay.as_micros()));
     }
-    sim_.schedule(delay, [this, from, to, payload = std::move(payload)] {
+    MessageStats::Entry* flight = stats_.begin_flight(category, bytes, to.value);
+    sim_.schedule(delay, [this, from, to, payload = std::move(payload), flight, bytes] {
+      stats_.end_flight(flight, bytes, to.value);
       deliver(from, to, payload);
     });
   }

@@ -1,0 +1,100 @@
+#pragma once
+
+// curb::obs::res — tagged allocation accounting.
+//
+// curb::prof answers "where does host *time* go"; this layer answers "where
+// does host *memory* go". A process-wide replacement of operator new/delete
+// (account.cpp) attributes every allocation to the innermost active
+// curb::prof component tag (crypto/solver/bus/bft/chain/obs/sim), keeping
+// per-tag live bytes, cumulative allocation counts/bytes, and peak-live
+// high-water marks in thread-safe counters — plus, when a prof::Profiler is
+// installed on the allocating thread, cumulative bytes per attribution-tree
+// frame so memory flamegraphs fall out of the same collapsed-stack pipeline
+// as time flamegraphs.
+//
+// Enablement is a one-way latch read from the environment at the process's
+// FIRST allocation (static initialization, before main): set
+// CURB_MEM_ACCOUNT=1 — or any of CURB_MEM_OUT / CURB_MEM_FOLDED — and every
+// allocation carries a 32-byte accounting header; leave them unset and
+// operator new degrades to plain malloc plus one predictable branch. The
+// latch cannot flip mid-process: headers must be all-or-nothing, because
+// operator delete decides how to free by reading the header.
+//
+// Determinism: the accountant only *observes* allocations — nothing it
+// counts feeds the metrics registry, the virtual clock, or any protocol
+// decision, so same-seed runs stay byte-identical in every trace/telemetry
+// output with accounting on. Memory reports go to their own files
+// (CURB_MEM_OUT / CURB_MEM_FOLDED), which are host-dependent by nature.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "curb/prof/profiler.hpp"
+
+namespace curb::obs::res {
+
+/// Number of attribution tags (mirrors prof::ComponentTag).
+inline constexpr std::size_t kTagCount = prof::kComponentTagCount;
+
+/// Snapshot of one tag's counters. All monotone except live_bytes.
+struct TagCounters {
+  std::uint64_t allocs = 0;       ///< cumulative allocation count
+  std::uint64_t frees = 0;        ///< cumulative deallocation count
+  std::uint64_t alloc_bytes = 0;  ///< cumulative bytes requested
+  std::uint64_t freed_bytes = 0;  ///< cumulative bytes released
+  std::uint64_t live_bytes = 0;   ///< currently outstanding bytes
+  std::uint64_t peak_live_bytes = 0;  ///< high-water of live_bytes
+};
+
+/// Full accounting snapshot: totals, the per-tag split, and the bytes the
+/// accounting headers themselves consumed (not part of any tag).
+struct MemSnapshot {
+  TagCounters total;
+  std::array<TagCounters, kTagCount> tags{};
+  std::uint64_t header_bytes = 0;
+
+  /// Cumulative bytes attributed to a *named* subsystem tag — everything
+  /// except untagged; the attribution-coverage ratio reported by mem-report.
+  [[nodiscard]] std::uint64_t tagged_alloc_bytes() const;
+};
+
+/// True when the accounting latch is on for this process (env-decided at the
+/// first allocation; constant afterwards).
+[[nodiscard]] bool enabled();
+
+/// Read every counter (relaxed loads; exact when the process is quiescent,
+/// approximate while other threads allocate).
+[[nodiscard]] MemSnapshot snapshot();
+
+/// Reset every peak-live high-water mark to the current live bytes. Benches
+/// call this between configurations so each entry reports its own peak.
+void reset_peaks();
+
+/// Cumulative allocations attributed to one prof attribution-tree frame.
+struct FrameAlloc {
+  std::uint64_t allocs = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Per-frame allocation counts for the calling thread, indexed like
+/// prof::Profiler::nodes() of the profiler that was installed while the
+/// allocations happened. Empty when no profiler was ever installed on this
+/// thread or accounting is off.
+[[nodiscard]] std::vector<FrameAlloc> frame_allocations();
+
+/// Forget the calling thread's per-frame attribution (tests; also the right
+/// call after Profiler::clear(), since node indices restart).
+void clear_frame_allocations();
+
+namespace detail {
+/// Counter-path test hooks: record an allocation/free of `size` bytes under
+/// `tag` exactly as the interposed operator new/delete would, without going
+/// through the allocator. Lets the accounting logic be unit-tested even when
+/// the process-wide latch is off.
+void record_alloc(std::size_t size, prof::ComponentTag tag);
+void record_free(std::size_t size, prof::ComponentTag tag);
+}  // namespace detail
+
+}  // namespace curb::obs::res

@@ -347,11 +347,13 @@ PerfDiffResult perf_diff(const std::vector<BenchEntry>& base,
       if (abs_delta <= options.floor) continue;
       const double denom = base_value != 0.0 ? std::abs(base_value) : 1.0;
       const double delta_pct = 100.0 * (cand_value - base_value) / denom;
-      // Host sections measure the machine that produced the file, not the
-      // protocol — they compare against their own (looser) threshold and
-      // never hard-fail.
-      const bool host = metric.rfind("host.", 0) == 0;
-      const double threshold = host ? options.host_threshold_pct : options.threshold_pct;
+      // Host and memory sections measure the machine / allocator behaviour of
+      // the build that produced the file, not the protocol — they compare
+      // against their own (looser) threshold and never hard-fail.
+      const bool advisory = metric.rfind("host.", 0) == 0 ||
+                            metric.rfind("memory.", 0) == 0;
+      const double threshold =
+          advisory ? options.host_threshold_pct : options.threshold_pct;
       if (std::abs(delta_pct) <= threshold) continue;
       const bool worse = higher_is_better(metric) ? delta_pct < 0.0 : delta_pct > 0.0;
       MetricDelta delta;
@@ -360,9 +362,9 @@ PerfDiffResult perf_diff(const std::vector<BenchEntry>& base,
       delta.base = base_value;
       delta.candidate = cand_value;
       delta.delta_pct = delta_pct;
-      delta.status = !worse                           ? MetricDelta::Status::kImproved
-                     : (host || options.warn_only)    ? MetricDelta::Status::kWarned
-                                                      : MetricDelta::Status::kRegressed;
+      delta.status = !worse                            ? MetricDelta::Status::kImproved
+                     : (advisory || options.warn_only) ? MetricDelta::Status::kWarned
+                                                       : MetricDelta::Status::kRegressed;
       result.deltas.push_back(std::move(delta));
     }
   }

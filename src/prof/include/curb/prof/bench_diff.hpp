@@ -56,7 +56,8 @@ struct BenchEntry {
 struct PerfDiffOptions {
   /// Relative-change gate for virtual-time metrics, percent.
   double threshold_pct = 10.0;
-  /// Relative-change gate for host.* metrics, percent (always warn-only).
+  /// Relative-change gate for host.* and memory.* metrics, percent (always
+  /// warn-only — both measure the build/machine, not the protocol).
   double host_threshold_pct = 50.0;
   /// Absolute change below this is ignored regardless of relative size.
   double floor = 0.0;

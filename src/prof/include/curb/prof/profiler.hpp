@@ -14,6 +14,7 @@
 // times never feed back into the virtual clock, so enabling profiling cannot
 // change protocol outputs — same-seed runs stay byte-identical.
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -22,6 +23,56 @@
 #include <vector>
 
 namespace curb::prof {
+
+// ---------------------------------------------------------------------------
+// Component-tag channel.
+//
+// The allocation accountant (curb::obs::res) needs to know, at every
+// `operator new`, which subsystem the calling thread is currently executing —
+// without requiring a Profiler to be installed and without adding work to
+// the disabled path. Scope maintains a per-thread stack of small component
+// ids (the label prefix before the first '.': "crypto.sign" -> crypto) that
+// is only pushed while tag tracking is latched on. The latch is one-way and
+// flips before main() (the accountant enables it from the process's first
+// allocation), so the disabled path costs one relaxed atomic load per Scope.
+
+/// Fixed component-tag ids. kUntagged means "no Scope active on this
+/// thread"; kOther is any label prefix outside the known subsystem set.
+enum class ComponentTag : std::uint8_t {
+  kUntagged = 0,
+  kCrypto,
+  kSolver,
+  kBus,
+  kBft,
+  kChain,
+  kObs,
+  kSim,
+  kOther,
+};
+inline constexpr std::size_t kComponentTagCount = 9;
+
+/// Display name of a tag ("untagged", "crypto", ..., "other").
+[[nodiscard]] const char* to_string(ComponentTag tag);
+
+/// Component tag for an attribution label ("solver.cap" -> kSolver).
+[[nodiscard]] ComponentTag resolve_component_tag(std::string_view label);
+
+namespace detail {
+extern std::atomic<bool> g_tag_tracking;
+void push_component_tag(std::string_view label);
+void pop_component_tag();
+}  // namespace detail
+
+/// One-way latch: from now on every Scope pushes its component tag.
+void enable_component_tags();
+[[nodiscard]] inline bool component_tags_enabled() {
+  return detail::g_tag_tracking.load(std::memory_order_relaxed);
+}
+
+/// The calling thread's innermost active component tag (kUntagged when no
+/// Scope is open or tag tracking is off). Safe to call from any context,
+/// including inside a replaced operator new.
+[[nodiscard]] ComponentTag current_component_tag();
 
 /// Monotonic host clock, nanoseconds since an arbitrary epoch.
 [[nodiscard]] inline std::uint64_t now_ns() {
@@ -88,6 +139,9 @@ class Profiler {
   [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
   /// Number of frames currently open (0 = balanced).
   [[nodiscard]] std::size_t depth() const { return stack_.size() - 1; }
+  /// Index of the currently open frame (0 = the synthetic root). The
+  /// allocation accountant keys per-frame allocation counts on this.
+  [[nodiscard]] std::uint32_t current_node() const { return stack_.back(); }
 
   /// Self time of a node: inclusive minus the children's inclusive time,
   /// clamped at zero (clock granularity can make children sum slightly past
@@ -131,6 +185,10 @@ class Session {
 class Scope {
  public:
   explicit Scope(std::string_view label) {
+    if (component_tags_enabled()) {
+      detail::push_component_tag(label);
+      tagged_ = true;
+    }
     Profiler* p = thread_profiler();
     if (p == nullptr) return;
     profiler_ = p;
@@ -139,6 +197,7 @@ class Scope {
   }
   ~Scope() {
     if (profiler_ != nullptr) profiler_->leave(node_, now_ns() - start_ns_);
+    if (tagged_) detail::pop_component_tag();
   }
   Scope(const Scope&) = delete;
   Scope& operator=(const Scope&) = delete;
@@ -146,6 +205,7 @@ class Scope {
  private:
   Profiler* profiler_ = nullptr;
   std::uint32_t node_ = 0;
+  bool tagged_ = false;
   std::uint64_t start_ns_ = 0;
 };
 

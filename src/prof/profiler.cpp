@@ -5,12 +5,79 @@
 namespace curb::prof {
 
 namespace {
+
 thread_local Profiler* t_profiler = nullptr;
+
+/// Fixed-capacity per-thread tag stack. Depth beyond the capacity keeps
+/// counting (pushes and pops stay balanced) but stops storing: the innermost
+/// *stored* tag is reported, which is the right answer for attribution.
+struct TagStack {
+  static constexpr std::uint32_t kCapacity = 128;
+  std::uint8_t tags[kCapacity] = {};
+  std::uint32_t depth = 0;
+};
+thread_local constinit TagStack t_tags;
+
 }  // namespace
 
 Profiler* thread_profiler() { return t_profiler; }
 
 void set_thread_profiler(Profiler* profiler) { t_profiler = profiler; }
+
+std::atomic<bool> detail::g_tag_tracking{false};
+
+void enable_component_tags() {
+  detail::g_tag_tracking.store(true, std::memory_order_relaxed);
+}
+
+const char* to_string(ComponentTag tag) {
+  switch (tag) {
+    case ComponentTag::kUntagged: return "untagged";
+    case ComponentTag::kCrypto: return "crypto";
+    case ComponentTag::kSolver: return "solver";
+    case ComponentTag::kBus: return "bus";
+    case ComponentTag::kBft: return "bft";
+    case ComponentTag::kChain: return "chain";
+    case ComponentTag::kObs: return "obs";
+    case ComponentTag::kSim: return "sim";
+    case ComponentTag::kOther: return "other";
+  }
+  return "?";
+}
+
+ComponentTag resolve_component_tag(std::string_view label) {
+  const std::size_t dot = label.find('.');
+  const std::string_view prefix =
+      dot == std::string_view::npos ? label : label.substr(0, dot);
+  if (prefix == "crypto") return ComponentTag::kCrypto;
+  if (prefix == "solver") return ComponentTag::kSolver;
+  if (prefix == "bus") return ComponentTag::kBus;
+  if (prefix == "bft") return ComponentTag::kBft;
+  if (prefix == "chain") return ComponentTag::kChain;
+  if (prefix == "obs") return ComponentTag::kObs;
+  if (prefix == "sim") return ComponentTag::kSim;
+  return ComponentTag::kOther;
+}
+
+void detail::push_component_tag(std::string_view label) {
+  TagStack& s = t_tags;
+  if (s.depth < TagStack::kCapacity) {
+    s.tags[s.depth] = static_cast<std::uint8_t>(resolve_component_tag(label));
+  }
+  ++s.depth;
+}
+
+void detail::pop_component_tag() {
+  TagStack& s = t_tags;
+  if (s.depth > 0) --s.depth;
+}
+
+ComponentTag current_component_tag() {
+  const TagStack& s = t_tags;
+  if (s.depth == 0) return ComponentTag::kUntagged;
+  const std::uint32_t top = std::min(s.depth, TagStack::kCapacity);
+  return static_cast<ComponentTag>(s.tags[top - 1]);
+}
 
 void Profiler::clear() {
   nodes_.clear();

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -52,6 +54,7 @@ class Simulator {
   EventHandle schedule_at(SimTime when, Callback fn) {
     if (when < now_) throw std::logic_error{"Simulator: scheduling into the past"};
     const std::uint64_t id = ++next_id_;
+    record_sched_lag(when - now_);
     queue_.push(Event{when, id, std::move(fn)});
     ++pending_;
     if (queue_.size() > queue_high_water_) queue_high_water_ = queue_.size();
@@ -124,6 +127,35 @@ class Simulator {
   /// Largest event-queue depth ever reached (includes cancelled entries).
   [[nodiscard]] std::size_t queue_high_water() const { return queue_high_water_; }
 
+  // Scheduling-lag histogram: distribution of how far into the virtual
+  // future events are scheduled (`when - now`, microseconds), recorded in
+  // fixed power-of-two buckets at every schedule call. Allocation-free and
+  // cheap enough to stay always-on; virtual-time based, so the histogram is
+  // deterministic per seed. A backlog that schedules ever further ahead
+  // (growing lag percentiles with a growing queue depth) is the DES analogue
+  // of rising queueing delay in a real controller.
+
+  /// Total scheduling-lag samples (== events ever scheduled).
+  [[nodiscard]] std::uint64_t sched_lag_samples() const { return sched_lag_count_; }
+  /// Largest scheduling lag ever recorded, microseconds.
+  [[nodiscard]] std::uint64_t sched_lag_max_us() const { return sched_lag_max_us_; }
+  /// Upper bound of the bucket holding the p-th percentile (p in [0,100]) of
+  /// scheduling lag, microseconds. Zero when nothing was scheduled yet.
+  [[nodiscard]] std::uint64_t sched_lag_percentile_us(double p) const {
+    if (sched_lag_count_ == 0) return 0;
+    const double target = static_cast<double>(sched_lag_count_) * p / 100.0;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < sched_lag_buckets_.size(); ++i) {
+      seen += sched_lag_buckets_[i];
+      if (static_cast<double>(seen) >= target) {
+        // Bucket i holds values whose bit width is i: [2^(i-1), 2^i - 1].
+        const std::uint64_t upper = i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+        return upper < sched_lag_max_us_ ? upper : sched_lag_max_us_;
+      }
+    }
+    return sched_lag_max_us_;
+  }
+
   /// Guard against runaway protocols in tests; default is generous.
   void set_event_budget(std::size_t max_events) { max_events_ = max_events; }
 
@@ -144,11 +176,24 @@ class Simulator {
     return id < cancelled_.size() && cancelled_[id];
   }
 
+  void record_sched_lag(SimTime lag) {
+    const auto us = static_cast<std::uint64_t>(lag.as_micros());
+    ++sched_lag_count_;
+    if (us > sched_lag_max_us_) sched_lag_max_us_ = us;
+    const auto bucket = static_cast<std::size_t>(std::bit_width(us));
+    ++sched_lag_buckets_[bucket < sched_lag_buckets_.size()
+                             ? bucket
+                             : sched_lag_buckets_.size() - 1];
+  }
+
   SimTime now_ = SimTime::zero();
   std::uint64_t next_id_ = 0;
   std::size_t pending_ = 0;
   std::uint64_t executed_total_ = 0;
   std::size_t queue_high_water_ = 0;
+  std::uint64_t sched_lag_count_ = 0;
+  std::uint64_t sched_lag_max_us_ = 0;
+  std::array<std::uint64_t, 64> sched_lag_buckets_{};
   std::size_t max_events_ = 500'000'000;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::vector<bool> cancelled_;

@@ -40,9 +40,15 @@
 //     --prof FILE                   (host-time profile, collapsed-stack format;
 //                                    feed into flamegraph.pl or curb-prof report)
 //     --prof-chrome FILE            (host-time profile as Chrome trace JSON)
+//     --mem-out FILE                (per-tag memory profile JSON; feed into
+//                                    curb-prof mem-report / mem-diff)
+//     --mem-folded FILE             (collapsed-stack memory flamegraph, bytes
+//                                    per attribution frame; implies --prof-style
+//                                    profiler installation)
 //     --help                        (this text plus the CURB_* env var table)
 //
-// Exit codes: 0 ok, 1 run/output failure, 2 usage, 3 SLO watchdog breach.
+// Exit codes (curb/core/exit_codes.hpp): 0 ok, 1 run/output failure, 2 usage,
+// 3 SLO watchdog breach.
 //
 // CURB_* environment variables (see --help for the full table) are applied
 // first; command-line flags override them.
@@ -63,7 +69,10 @@
 #include <string>
 
 #include "curb/core/env.hpp"
+#include "curb/core/exit_codes.hpp"
 #include "curb/core/simulation.hpp"
+#include "curb/obs/res/account.hpp"
+#include "curb/obs/res/report.hpp"
 #include "curb/fault/spec.hpp"
 #include "curb/obs/analysis.hpp"
 #include "curb/obs/export.hpp"
@@ -106,9 +115,14 @@ struct CliOptions {
   std::optional<std::uint64_t> fault_seed;
   std::string prof_file;
   std::string prof_chrome_file;
+  std::string mem_out_file;
+  std::string mem_folded_file;
 
   [[nodiscard]] bool profiling() const {
-    return !prof_file.empty() || !prof_chrome_file.empty();
+    // A memory flamegraph needs the attribution tree, so --mem-folded
+    // installs the profiler too.
+    return !prof_file.empty() || !prof_chrome_file.empty() ||
+           !mem_folded_file.empty();
   }
 
   [[nodiscard]] bool observability() const {
@@ -129,7 +143,8 @@ void print_usage(std::FILE* out, const char* argv0) {
                "          [--ts-out FILE] [--ts-window MS] [--ts-retention N]\n"
                "          [--slo RULES] [--slo-out FILE]\n"
                "          [--fault SPEC] [--fault-seed S]\n"
-               "          [--prof FILE] [--prof-chrome FILE] [--help]\n"
+               "          [--prof FILE] [--prof-chrome FILE]\n"
+               "          [--mem-out FILE] [--mem-folded FILE] [--help]\n"
                "\n"
                "environment (applied first; flags override; the bench binaries\n"
                "honour the same variables):\n",
@@ -142,7 +157,7 @@ void print_usage(std::FILE* out, const char* argv0) {
 
 [[noreturn]] void usage(const char* argv0) {
   print_usage(stderr, argv0);
-  std::exit(2);
+  std::exit(curb::core::kExitUsage);
 }
 
 CliOptions parse(int argc, char** argv) {
@@ -182,9 +197,11 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--fault-seed") opts.fault_seed = std::strtoull(value(), nullptr, 10);
     else if (arg == "--prof") opts.prof_file = value();
     else if (arg == "--prof-chrome") opts.prof_chrome_file = value();
+    else if (arg == "--mem-out") opts.mem_out_file = value();
+    else if (arg == "--mem-folded") opts.mem_folded_file = value();
     else if (arg == "--help" || arg == "-h") {
       print_usage(stdout, argv[0]);
-      std::exit(0);
+      std::exit(curb::core::kExitOk);
     }
     else usage(argv[0]);
   }
@@ -211,13 +228,24 @@ int main(int argc, char** argv) {
   env_default(cli.slo_out, "CURB_SLO_OUT");
   env_default(cli.prof_file, "CURB_PROF");
   env_default(cli.prof_chrome_file, "CURB_PROF_CHROME");
+  env_default(cli.mem_out_file, "CURB_MEM_OUT");
+  env_default(cli.mem_folded_file, "CURB_MEM_FOLDED");
+  if ((!cli.mem_out_file.empty() || !cli.mem_folded_file.empty()) &&
+      !curb::obs::res::enabled()) {
+    // The accountant latches at the process's first allocation (before main),
+    // so a bare --mem-out flag is too late to turn it on: only the
+    // environment can. Warn instead of writing an all-zero profile.
+    std::fprintf(stderr,
+                 "curb-sim: memory accounting is off — set CURB_MEM_ACCOUNT=1 "
+                 "(or CURB_MEM_OUT/CURB_MEM_FOLDED) in the environment\n");
+  }
 
   curb::core::CurbOptions options;
   // Environment first, explicit flags override.
   std::string env_error;
   if (!curb::core::apply_env_to_options(options, &env_error)) {
     std::fprintf(stderr, "curb-sim: %s\n", env_error.c_str());
-    return 2;
+    return curb::core::kExitUsage;
   }
   options.f = cli.f;
   options.seed = cli.seed;
@@ -243,7 +271,7 @@ int main(int argc, char** argv) {
   if (cli.ts_window_ms) {
     if (!(*cli.ts_window_ms > 0.0)) {
       std::fprintf(stderr, "curb-sim: --ts-window wants ms > 0\n");
-      return 2;
+      return curb::core::kExitUsage;
     }
     options.ts_window = curb::sim::SimTime::micros(
         static_cast<std::int64_t>(std::llround(*cli.ts_window_ms * 1000.0)));
@@ -265,7 +293,7 @@ int main(int argc, char** argv) {
       (void)curb::fault::FaultPlan::parse(options.fault_spec, options.fault_seed);
     } catch (const curb::fault::SpecError& e) {
       std::fprintf(stderr, "curb-sim: bad --fault spec: %s\n", e.what());
-      return 2;
+      return curb::core::kExitUsage;
     }
   }
   if (!options.slo_rules.empty()) {
@@ -273,7 +301,7 @@ int main(int argc, char** argv) {
       (void)curb::obs::SloRuleSet::parse(options.slo_rules);
     } catch (const curb::obs::SloError& e) {
       std::fprintf(stderr, "curb-sim: %s\n", e.what());
-      return 2;
+      return curb::core::kExitUsage;
     }
   }
 
@@ -298,7 +326,7 @@ int main(int argc, char** argv) {
     // Unopenable --ts-out, a too-small topology, and the like: no network
     // exists yet, nothing to flush.
     std::fprintf(stderr, "curb-sim: %s\n", e.what());
-    return 1;
+    return curb::core::kExitFinding;
   }
   curb::core::CurbSimulation& sim = *sim_storage;
 
@@ -369,7 +397,7 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "curb-sim: %s\n", e.what());
     (void)flush_outputs();
-    return 1;
+    return curb::core::kExitFinding;
   }
 
   const auto& state = sim.network().genesis_state();
@@ -444,11 +472,36 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "host: wall=%.2fs events/s=%.0f profile written to %s\n",
                  wall_s, wall_s > 0.0 ? events / wall_s : 0.0,
                  written.empty() ? "(none)" : written.c_str());
-    if (!ok) return 1;
+    if (!ok) return curb::core::kExitFinding;
   }
 
-  if (watchdog_fired) return 3;
-  if (!outputs_ok) return 1;
+  if (curb::obs::res::enabled()) {
+    const curb::obs::res::MemSnapshot snap = curb::obs::res::snapshot();
+    bool ok = true;
+    if (!cli.mem_out_file.empty() &&
+        !curb::obs::res::export_mem_profile(snap, cli.mem_out_file)) {
+      std::fprintf(stderr, "curb-sim: cannot write %s\n", cli.mem_out_file.c_str());
+      ok = false;
+    }
+    if (!cli.mem_folded_file.empty() &&
+        !curb::obs::res::export_mem_collapsed(
+            profiler, curb::obs::res::frame_allocations(), cli.mem_folded_file)) {
+      std::fprintf(stderr, "curb-sim: cannot write %s\n",
+                   cli.mem_folded_file.c_str());
+      ok = false;
+    }
+    const double denom = snap.total.alloc_bytes > 0
+                             ? static_cast<double>(snap.total.alloc_bytes)
+                             : 1.0;
+    std::fprintf(stderr, "mem: alloc=%.1fMiB peak=%.1fMiB tagged=%.1f%%\n",
+                 static_cast<double>(snap.total.alloc_bytes) / (1024.0 * 1024.0),
+                 static_cast<double>(snap.total.peak_live_bytes) / (1024.0 * 1024.0),
+                 100.0 * static_cast<double>(snap.tagged_alloc_bytes()) / denom);
+    if (!ok) return curb::core::kExitFinding;
+  }
+
+  if (watchdog_fired) return curb::core::kExitSloBreach;
+  if (!outputs_ok) return curb::core::kExitFinding;
 
   // Clean runs must end fully converged (equal tips). A faulted run may
   // legitimately stop with live controllers lagging (deliveries still in
@@ -456,5 +509,5 @@ int main(int argc, char** argv) {
   // blocks at a common height — fails it.
   const bool ok_chains = options.fault_spec.empty() ? sim.chains_consistent()
                                                     : sim.chains_prefix_consistent();
-  return ok_chains ? 0 : 1;
+  return ok_chains ? curb::core::kExitOk : curb::core::kExitFinding;
 }

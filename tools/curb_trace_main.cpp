@@ -11,7 +11,7 @@
 // per-phase latency breakdown, `critical-path` the slowest transactions'
 // segment walks, `anomalies` the protocol-conformance findings (exit 1 if
 // any), and `diff` a phase-by-phase comparison of two runs (exit 1 on
-// regressions).
+// regressions). Exit codes follow curb/core/exit_codes.hpp.
 //
 // Example: curb-sim --rounds 5 --trace-jsonl t.jsonl && curb-trace report t.jsonl
 
@@ -23,11 +23,16 @@
 #include <string>
 #include <vector>
 
+#include "curb/core/exit_codes.hpp"
 #include "curb/obs/analysis.hpp"
 #include "curb/obs/export.hpp"
 #include "curb/obs/report.hpp"
 
 namespace {
+
+using curb::core::kExitFinding;
+using curb::core::kExitOk;
+using curb::core::kExitUsage;
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
@@ -37,20 +42,20 @@ namespace {
                "       %s diff          <base.jsonl> <cand.jsonl> [--json]\n"
                "                        [--threshold PCT] [--floor US]\n",
                argv0, argv0, argv0, argv0);
-  std::exit(2);
+  std::exit(kExitUsage);
 }
 
 curb::obs::TraceAnalysis load(const char* argv0, const std::string& path) {
   std::ifstream in{path};
   if (!in) {
     std::fprintf(stderr, "%s: cannot open %s\n", argv0, path.c_str());
-    std::exit(2);
+    std::exit(kExitUsage);
   }
   try {
     return curb::obs::TraceAnalysis{curb::obs::parse_spans_jsonl(in)};
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: %s: %s\n", argv0, path.c_str(), e.what());
-    std::exit(2);
+    std::exit(kExitUsage);
   }
 }
 
@@ -95,7 +100,7 @@ int main(int argc, char** argv) {
     } else {
       curb::obs::write_report_text(analysis, std::cout);
     }
-    return 0;
+    return kExitOk;
   }
   if (command == "critical-path") {
     if (paths.size() != 1) usage(argv[0]);
@@ -106,7 +111,7 @@ int main(int argc, char** argv) {
     } else {
       curb::obs::write_critical_path_text(analysis, std::cout, limit);
     }
-    return 0;
+    return kExitOk;
   }
   if (command == "anomalies") {
     if (paths.size() != 1) usage(argv[0]);
@@ -116,7 +121,7 @@ int main(int argc, char** argv) {
     } else {
       curb::obs::write_anomalies_text(analysis, std::cout);
     }
-    return analysis.findings().empty() ? 0 : 1;
+    return analysis.findings().empty() ? kExitOk : kExitFinding;
   }
   if (command == "diff") {
     if (paths.size() != 2) usage(argv[0]);
@@ -129,7 +134,7 @@ int main(int argc, char** argv) {
     } else {
       curb::obs::write_diff_text(diff, std::cout);
     }
-    return diff.regressions() == 0 ? 0 : 1;
+    return diff.regressions() == 0 ? kExitOk : kExitFinding;
   }
   usage(argv[0]);
 }

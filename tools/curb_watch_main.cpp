@@ -7,6 +7,7 @@
 //     --follow        keep tailing FILE as it grows (live run); stops after
 //                     --idle-ms of no growth (0 = until interrupted)
 //     --idle-ms MS    follow idle cutoff, wall milliseconds (default 2000)
+//     --poll-ms MS    follow poll interval, wall milliseconds (default 50)
 //     --series SUBSTR only render series whose key contains SUBSTR
 //                     (repeatable; default: all)
 //     --width N       sparkline width in windows (default 48)
@@ -18,8 +19,8 @@
 // Follow: prints one line per newly closed window plus breach alerts as
 // they fire, then the final sparkline view.
 //
-// Exit codes: 0 no breach, 1 I/O error, 2 usage, 3 SLO breach (same code
-// curb-sim's in-process watchdog uses).
+// Exit codes (curb/core/exit_codes.hpp): 0 no breach, 1 I/O error, 2 usage,
+// 3 SLO breach (the same code curb-sim's in-process watchdog uses).
 
 #include <algorithm>
 #include <chrono>
@@ -35,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "curb/core/exit_codes.hpp"
 #include "curb/obs/slo.hpp"
 #include "curb/obs/timeseries.hpp"
 
@@ -45,6 +47,7 @@ struct CliOptions {
   std::string slo_rules;
   bool follow = false;
   long idle_ms = 2000;
+  long poll_ms = 50;
   std::vector<std::string> series_filters;
   std::size_t width = 48;
   std::string report_file;
@@ -53,11 +56,11 @@ struct CliOptions {
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--slo RULES] [--follow] [--idle-ms MS]\n"
+               "usage: %s [--slo RULES] [--follow] [--idle-ms MS] [--poll-ms MS]\n"
                "          [--series SUBSTR]... [--width N] [--report FILE]\n"
                "          [--quiet] FILE\n",
                argv0);
-  std::exit(2);
+  std::exit(curb::core::kExitUsage);
 }
 
 CliOptions parse(int argc, char** argv) {
@@ -71,6 +74,7 @@ CliOptions parse(int argc, char** argv) {
     if (arg == "--slo") opts.slo_rules = value();
     else if (arg == "--follow") opts.follow = true;
     else if (arg == "--idle-ms") opts.idle_ms = std::strtol(value(), nullptr, 10);
+    else if (arg == "--poll-ms") opts.poll_ms = std::strtol(value(), nullptr, 10);
     else if (arg == "--series") opts.series_filters.emplace_back(value());
     else if (arg == "--width") opts.width = std::strtoull(value(), nullptr, 10);
     else if (arg == "--report") opts.report_file = value();
@@ -80,7 +84,7 @@ CliOptions parse(int argc, char** argv) {
     else if (opts.file.empty()) opts.file = arg;
     else usage(argv[0]);
   }
-  if (opts.file.empty() || opts.width == 0) usage(argv[0]);
+  if (opts.file.empty() || opts.width == 0 || opts.poll_ms <= 0) usage(argv[0]);
   return opts;
 }
 
@@ -197,6 +201,12 @@ class JsonlTail {
     if (!in) return false;
     in.seekg(0, std::ios::end);
     const std::streamoff size = in.tellg();
+    if (size < offset_) {
+      // The file shrank: truncated or rotated (a new run reopened the same
+      // path). Restart from the top instead of spinning forever on a stale
+      // offset waiting for the file to regrow past it.
+      offset_ = 0;
+    }
     if (size <= offset_) return true;
     in.seekg(offset_);
     std::string chunk(static_cast<std::size_t>(size - offset_), '\0');
@@ -228,7 +238,7 @@ int main(int argc, char** argv) {
       rules = curb::obs::SloRuleSet::parse(cli.slo_rules);
     } catch (const curb::obs::SloError& e) {
       std::fprintf(stderr, "curb-watch: %s\n", e.what());
-      return 2;
+      return curb::core::kExitUsage;
     }
   }
   curb::obs::SloEngine engine{rules};
@@ -265,7 +275,7 @@ int main(int argc, char** argv) {
     if (cli.follow) {
       // Wall-clock tail: poll until the file stops growing for idle_ms.
       // Virtual time is irrelevant here — this follows a live process.
-      const auto poll_interval = std::chrono::milliseconds{50};
+      const auto poll_interval = std::chrono::milliseconds{cli.poll_ms};
       auto last_growth = std::chrono::steady_clock::now();
       while (true) {
         fresh.clear();
@@ -291,11 +301,11 @@ int main(int argc, char** argv) {
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "curb-watch: %s: %s\n", cli.file.c_str(), e.what());
-    return 1;
+    return curb::core::kExitFinding;
   }
   if (!opened) {
     std::fprintf(stderr, "curb-watch: cannot open %s\n", cli.file.c_str());
-    return 1;
+    return curb::core::kExitFinding;
   }
 
   if (!cli.quiet) render(windows, rules, cli);
@@ -304,13 +314,13 @@ int main(int argc, char** argv) {
     std::ofstream out{cli.report_file, std::ios::binary | std::ios::trunc};
     if (!out) {
       std::fprintf(stderr, "curb-watch: cannot write %s\n", cli.report_file.c_str());
-      return 1;
+      return curb::core::kExitFinding;
     }
     engine.write_report_json(out);
   }
   if (engine.breached()) {
     std::fprintf(stderr, "curb-watch: %zu SLO breach(es)\n", engine.breaches().size());
-    return 3;
+    return curb::core::kExitSloBreach;
   }
-  return 0;
+  return curb::core::kExitOk;
 }
