@@ -137,6 +137,7 @@ void HotstuffReplica::on_message(const PbftMessage& msg) {
 void HotstuffReplica::handle_proposal(const PbftMessage& msg) {
   if (msg.view != view_ || msg.sender != leader_index()) return;
   if (payload_digest(msg.payload) != msg.digest) return;
+  if (config_.validate_payload && !config_.validate_payload(msg.payload)) return;
   auto& s = slot(msg.sequence);
   if (s.digest && *s.digest != msg.digest) return;  // equivocation: refuse
   if (s.executed) return;

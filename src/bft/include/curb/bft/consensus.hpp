@@ -76,6 +76,11 @@ struct ReplicaConfig {
   std::string span_track;
   std::string span_prefix = "pbft";
   obs::Attrs span_attrs;
+  /// Optional application check of a proposed payload (e.g. transaction
+  /// signature verification), run once per proposal after the digest check.
+  /// A replica never adopts — and never votes for — a payload this rejects.
+  /// Leave empty to accept every well-digested payload (the default).
+  std::function<bool(const std::vector<std::uint8_t>& payload)> validate_payload;
 };
 
 /// Engine-agnostic replica interface. Transport-agnostic: messages leave

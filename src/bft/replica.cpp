@@ -126,6 +126,7 @@ void PbftReplica::handle_pre_prepare(const PbftMessage& msg) {
   if (msg.view != view_) return;
   if (msg.sender != leader_index()) return;  // only the leader may propose
   if (payload_digest(msg.payload) != msg.digest) return;  // malformed
+  if (config_.validate_payload && !config_.validate_payload(msg.payload)) return;
 
   auto& s = slot(msg.sequence);
   if (s.digest && *s.digest != msg.digest) return;  // conflicting proposal: ignore

@@ -54,14 +54,23 @@ class Transaction {
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
   [[nodiscard]] static Transaction deserialize(std::span<const std::uint8_t> bytes);
 
-  /// Transaction id: SHA-256 over the signing bytes (stable under re-signing).
-  [[nodiscard]] crypto::Hash256 id() const;
+  /// Transaction id: SHA-256 over the signing bytes (stable under
+  /// re-signing). Computed once and memoized — every field feeding the id is
+  /// fixed at construction/deserialization, so the cache never goes stale.
+  [[nodiscard]] const crypto::Hash256& id() const;
 
   /// Sign with the handling leader's key / verify against its public key.
+  /// Verification goes through the process-wide signature cache, so the
+  /// 3f+1 replicas checking the same transaction pay for ECDSA once.
   void sign(const crypto::KeyPair& key);
   [[nodiscard]] bool verify(const crypto::PublicKey& key) const;
 
-  bool operator==(const Transaction&) const = default;
+  bool operator==(const Transaction& other) const {
+    return type_ == other.type_ && switch_id_ == other.switch_id_ &&
+           controller_id_ == other.controller_id_ &&
+           request_id_ == other.request_id_ && config_ == other.config_ &&
+           signature_ == other.signature_;
+  }
 
  private:
   RequestType type_ = RequestType::kPacketIn;
@@ -70,6 +79,7 @@ class Transaction {
   std::uint64_t request_id_ = 0;
   std::vector<std::uint8_t> config_;
   std::optional<crypto::Signature> signature_;
+  mutable std::optional<crypto::Hash256> id_memo_;  // excluded from operator==
 };
 
 }  // namespace curb::chain

@@ -1,6 +1,7 @@
 #include "curb/chain/transaction.hpp"
 
 #include "curb/chain/serial.hpp"
+#include "curb/crypto/sigcache.hpp"
 
 namespace curb::chain {
 
@@ -46,16 +47,19 @@ Transaction Transaction::deserialize(std::span<const std::uint8_t> bytes) {
   return tx;
 }
 
-crypto::Hash256 Transaction::id() const {
-  const auto bytes = signing_bytes();
-  return crypto::Sha256::digest(std::span<const std::uint8_t>{bytes});
+const crypto::Hash256& Transaction::id() const {
+  if (!id_memo_) {
+    const auto bytes = signing_bytes();
+    id_memo_ = crypto::Sha256::digest(std::span<const std::uint8_t>{bytes});
+  }
+  return *id_memo_;
 }
 
 void Transaction::sign(const crypto::KeyPair& key) { signature_ = key.sign(id()); }
 
 bool Transaction::verify(const crypto::PublicKey& key) const {
   if (!signature_) return false;
-  return crypto::verify(key, id(), *signature_);
+  return crypto::verify_cached(key, id(), *signature_);
 }
 
 }  // namespace curb::chain

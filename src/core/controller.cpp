@@ -1,6 +1,7 @@
 #include "curb/core/controller.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "curb/core/codec.hpp"
 #include "curb/core/network.hpp"
@@ -144,6 +145,11 @@ void Controller::rebuild_replicas() {
       cfg.span_attrs = {{"controller", std::to_string(id_)},
                         {"instance", std::to_string(instance)}};
     }
+    if (options.verify_signatures) {
+      cfg.validate_payload = [this](const std::vector<std::uint8_t>& payload) {
+        return verify_tx_list_payload(bft::payload_digest(payload), payload);
+      };
+    }
     auto replica = bft::make_replica(
         network_.options().consensus_engine, cfg, network_.simulator(),
         [this, instance, members](std::uint32_t dest, const bft::PbftMessage& msg) {
@@ -199,6 +205,18 @@ void Controller::rebuild_replicas() {
       cfg.span_prefix = "final_pbft";
       cfg.span_attrs = {{"controller", std::to_string(id_)},
                         {"epoch", std::to_string(state_.epoch())}};
+    }
+    if (options.verify_signatures) {
+      cfg.validate_payload = [this](const std::vector<std::uint8_t>& payload) {
+        chain::Block block;
+        try {
+          block = chain::Block::deserialize(payload);
+        } catch (const std::exception&) {
+          return false;
+        }
+        if (!block.well_formed()) return false;
+        return verify_block_txs(block.hash(), block);
+      };
     }
     final_replica_ = bft::make_replica(
         network_.options().consensus_engine, cfg, network_.simulator(),
@@ -278,6 +296,7 @@ void Controller::crash() {
   final_replica_.reset();
   final_committee_cache_.clear();
   known_instances_.clear();
+  payload_verdicts_.clear();
   blockchain_.reset();
   request_buffer_.clear();
   reass_window_.clear();
@@ -363,8 +382,8 @@ void Controller::send(net::NodeId dest, CurbMessage msg) {
       const std::string category = category_of(msg);
       network_.simulator().schedule(
           sim::SimTime::micros(extra_us),
-          [this, dest, msg = std::move(msg), bytes, category] {
-            network_.bus().send(node_, dest, msg, bytes, category);
+          [this, dest, msg = std::move(msg), bytes, category]() mutable {
+            network_.bus().send(node_, dest, std::move(msg), bytes, category);
           });
       return;
     }
@@ -390,11 +409,85 @@ void Controller::send(net::NodeId dest, CurbMessage msg) {
       break;
   }
   const std::size_t bytes = wire_size(msg);
-  network_.bus().send(node_, dest, msg, bytes, category_of(msg));
+  const std::string category = category_of(msg);
+  network_.bus().send(node_, dest, std::move(msg), bytes, category);
 }
 
 void Controller::send_to_controller(std::uint32_t controller_id, CurbMessage msg) {
   send(network_.controller_topo_node(controller_id), std::move(msg));
+}
+
+void Controller::broadcast_to_controllers(
+    const std::vector<std::uint32_t>& controllers, CurbMessage msg) {
+  if (crashed_) return;
+  if (behavior_ != bft::Behavior::kHonest) {
+    // Byzantine behaviors are destination-dependent (selective silence,
+    // per-send lazy jitter, spam riders) — keep the per-dest path.
+    for (const std::uint32_t c : controllers) {
+      if (c == id_) continue;
+      send_to_controller(c, msg);
+    }
+    return;
+  }
+  std::vector<net::NodeId> dests;
+  dests.reserve(controllers.size());
+  for (const std::uint32_t c : controllers) {
+    if (c == id_) continue;
+    dests.push_back(network_.controller_topo_node(c));
+  }
+  if (dests.empty()) return;
+  const std::size_t bytes = wire_size(msg);
+  const std::string category = category_of(msg);
+  network_.bus().multicast(node_, dests, std::move(msg), bytes, category);
+}
+
+// --- transaction signature verification ---------------------------------------
+
+bool Controller::verify_tx_signature(const chain::Transaction& tx) const {
+  if (tx.controller_id() >= network_.num_controllers()) return false;
+  return tx.verify(network_.controller(tx.controller_id()).public_key());
+}
+
+void Controller::remember_verdict(const crypto::Hash256& key, bool ok) {
+  // Wholesale clear keeps the memo bounded without recency bookkeeping
+  // (which would be another host-order-dependence hazard).
+  constexpr std::size_t kMaxVerdicts = 8192;
+  if (payload_verdicts_.size() >= kMaxVerdicts) payload_verdicts_.clear();
+  payload_verdicts_[key] = ok;
+}
+
+bool Controller::verify_tx_list_payload(const crypto::Hash256& digest,
+                                        const std::vector<std::uint8_t>& payload) {
+  const auto memo = payload_verdicts_.find(digest);
+  if (memo != payload_verdicts_.end()) return memo->second;
+  bool ok = true;
+  try {
+    for (const chain::Transaction& tx : deserialize_tx_list(payload)) {
+      if (!verify_tx_signature(tx)) {
+        ok = false;
+        break;
+      }
+    }
+  } catch (const std::exception&) {
+    ok = false;  // undecodable txList can never carry valid signatures
+  }
+  remember_verdict(digest, ok);
+  return ok;
+}
+
+bool Controller::verify_block_txs(const crypto::Hash256& hash,
+                                  const chain::Block& block) {
+  const auto memo = payload_verdicts_.find(hash);
+  if (memo != payload_verdicts_.end()) return memo->second;
+  bool ok = true;
+  for (const chain::Transaction& tx : block.transactions()) {
+    if (!verify_tx_signature(tx)) {
+      ok = false;
+      break;
+    }
+  }
+  remember_verdict(hash, ok);
+  return ok;
 }
 
 bft::ConsensusReplica* Controller::replica_for(std::uint32_t instance) {
@@ -701,15 +794,11 @@ void Controller::on_intra_committed(std::uint32_t instance,
                               {"digest", crypto::short_hex(digest, 8)},
                               {"txns", txns_attr_from_payload(payload)}});
   }
-  // Algorithm 3 line 12: broadcast AGREE to the final committee.
+  // Algorithm 3 line 12: broadcast AGREE to the final committee — one
+  // shared payload buffer across every committee member.
   AgreeMsg agree{instance, id_, payload};
-  for (const std::uint32_t member : state_.final_committee()) {
-    if (member == id_) {
-      on_agree(agree);  // local delivery
-    } else {
-      send_to_controller(member, CurbMessage{agree});
-    }
-  }
+  broadcast_to_controllers(state_.final_committee(), CurbMessage{agree});
+  if (state_.in_final_committee(id_)) on_agree(agree);  // local delivery
 }
 
 void Controller::on_agree(const AgreeMsg& agree) {
@@ -733,6 +822,12 @@ void Controller::on_agree(const AgreeMsg& agree) {
     return;  // AGREE must come from a member of the claimed group
   }
   const auto digest = bft::payload_digest(agree.tx_list);
+  // A vote only counts for a txList whose transaction signatures check out;
+  // the digest-keyed memo makes duplicate AGREEs for the same list free.
+  if (network_.options().verify_signatures &&
+      !verify_tx_list_payload(digest, agree.tx_list)) {
+    return;
+  }
   const auto key = std::make_pair(agree.instance, digest);
   auto& votes = agree_votes_[key];
   votes.insert(agree.sender_controller);
@@ -820,15 +915,13 @@ void Controller::flush_block_buffer() {
 // --- Step 3 -> 4: final consensus completes -----------------------------------
 
 void Controller::on_final_committed(const std::vector<std::uint8_t>& payload) {
-  // Algorithm 3 line 25: broadcast FINAL-AGREE to every controller.
+  // Algorithm 3 line 25: broadcast FINAL-AGREE to every controller — the
+  // serialized block rides one shared buffer instead of n-1 copies.
   FinalAgreeMsg msg{id_, payload};
-  for (std::uint32_t c = 0; c < network_.num_controllers(); ++c) {
-    if (c == id_) {
-      on_final_agree(msg);
-    } else {
-      send_to_controller(c, CurbMessage{msg});
-    }
-  }
+  std::vector<std::uint32_t> everyone(network_.num_controllers());
+  std::iota(everyone.begin(), everyone.end(), 0);
+  broadcast_to_controllers(everyone, CurbMessage{msg});
+  on_final_agree(msg);
 }
 
 void Controller::on_final_agree(const FinalAgreeMsg& msg) {
@@ -842,6 +935,9 @@ void Controller::on_final_agree(const FinalAgreeMsg& msg) {
   if (!block.well_formed()) return;
   const auto hash = block.hash();
   if (applied_blocks_.contains(hash)) return;
+  if (network_.options().verify_signatures && !verify_block_txs(hash, block)) {
+    return;  // forged transaction inside the block: never vote for it
+  }
   auto& votes = final_agree_votes_[hash];
   votes.insert(msg.sender_controller);
   final_agree_payload_[hash] = msg.block;

@@ -138,7 +138,23 @@ class Controller {
   // --- transport ---
   void send(net::NodeId dest, CurbMessage msg);
   void send_to_controller(std::uint32_t controller_id, CurbMessage msg);
+  /// One-payload broadcast: honest controllers hand the bus a single shared
+  /// buffer via multicast; byzantine behaviors fall back to per-destination
+  /// send() so dest-dependent tampering still applies.
+  void broadcast_to_controllers(const std::vector<std::uint32_t>& controllers,
+                                CurbMessage msg);
   [[nodiscard]] bft::ConsensusReplica* replica_for(std::uint32_t instance);
+
+  // --- transaction signature verification (verify_signatures mode) ---
+  // Verdicts are memoized by payload digest / block hash on top of the
+  // process-wide crypto::SigCache, so duplicate AGREEs and the 3f+1
+  // replicas validating the same proposal pay for ECDSA once.
+  [[nodiscard]] bool verify_tx_signature(const chain::Transaction& tx) const;
+  [[nodiscard]] bool verify_tx_list_payload(const crypto::Hash256& digest,
+                                            const std::vector<std::uint8_t>& payload);
+  [[nodiscard]] bool verify_block_txs(const crypto::Hash256& hash,
+                                      const chain::Block& block);
+  void remember_verdict(const crypto::Hash256& key, bool ok);
 
   std::uint32_t id_;
   net::NodeId node_;
@@ -200,6 +216,11 @@ class Controller {
   /// serialized — two in-flight blocks would claim the same height and the
   /// loser's transactions would be dropped by every replica.
   bool final_proposal_in_flight_ = false;
+
+  /// Signature-verification verdicts memoized by payload digest (txLists)
+  /// or block hash (blocks). Bounded by a wholesale clear; a corrupted
+  /// payload hashes to a different key, so verdicts can never go stale.
+  std::map<crypto::Hash256, bool> payload_verdicts_;
 
   // FINAL-AGREE quorum tracking: block hash -> senders.
   std::map<crypto::Hash256, std::set<std::uint32_t>> final_agree_votes_;

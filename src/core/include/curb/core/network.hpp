@@ -11,6 +11,7 @@
 #include "curb/core/messages.hpp"
 #include "curb/core/options.hpp"
 #include "curb/core/switch_node.hpp"
+#include "curb/crypto/sigcache.hpp"
 #include "curb/fault/injector.hpp"
 #include "curb/net/message_bus.hpp"
 #include "curb/net/topology.hpp"
@@ -136,6 +137,9 @@ class CurbNetwork {
   std::size_t published_groups_ = 0;
   std::unique_ptr<fault::FaultInjector> fault_injector_;
   std::unique_ptr<opt::CapSolver> cap_solver_;
+  /// Process-wide SigCache counters at construction; runtime gauges export
+  /// this network's delta (verify_signatures runs only).
+  crypto::SigCacheStats sigcache_baseline_;
 };
 
 }  // namespace curb::core

@@ -14,6 +14,7 @@ CurbNetwork::CurbNetwork(net::Topology topology, CurbOptions options)
   // curb::core — a static-library archive member is only pulled in when a
   // symbol of it is named.
   (void)obs::res::enabled();
+  sigcache_baseline_ = crypto::SigCache::instance().stats();
   bus_ = std::make_unique<net::MessageBus<CurbMessage>>(sim_, topology_,
                                                         options_.link_model);
   // The SLO watchdog needs windows to evaluate, and windows need the
@@ -63,18 +64,25 @@ CurbNetwork::CurbNetwork(net::Topology topology, CurbOptions options)
 }
 
 void CurbNetwork::install_fault_hook() {
-  bus_->set_fault_hook([this](net::NodeId from, net::NodeId to, CurbMessage& payload,
+  bus_->set_fault_hook([this](net::NodeId from, net::NodeId to,
+                              const CurbMessage& /*payload*/,
                               const std::string& category) {
     fault::LinkFaultDecision decision =
         fault_injector_->on_message(from, to, category, sim_.now());
-    if (decision.corrupt && !decision.drop) {
-      corrupt_message(payload, fault_injector_->rng());
-    }
     if (decision.any()) record_fault(decision, category);
-    net::BusFaultAction action;
+    net::BusFaultAction<CurbMessage> action;
     action.drop = decision.drop;
     action.extra_delay = decision.extra_delay;
     action.duplicates = std::move(decision.duplicates);
+    if (decision.corrupt && !decision.drop) {
+      // The bus applies this through its copy-on-write path, so only the
+      // corrupted delivery sees mutated bytes. Drawing from the injector's
+      // RNG here keeps the fault stream position identical to the old
+      // corrupt-in-hook flow.
+      action.corrupt = [this](CurbMessage& payload) {
+        corrupt_message(payload, fault_injector_->rng());
+      };
+    }
     return action;
   });
 }
@@ -296,6 +304,23 @@ void CurbNetwork::snapshot_runtime_metrics() {
   for (std::size_t node = 0; node < stats.pending_inbox_nodes(); ++node) {
     registry.gauge("net.inbox_pending", {{"node", std::to_string(node)}})
         .set(static_cast<double>(stats.pending_inbox(node)));
+  }
+
+  // Signature-cache effectiveness, exported only when this network actually
+  // verifies signatures so default runs' telemetry is unchanged. Hits and
+  // misses are deltas since this network's construction (the cache itself
+  // is process-wide); entries is the process-wide current size. Host-order
+  // independent for a single network per process, but two same-seed
+  // networks in ONE process see different hit/miss splits (the second run
+  // hits the first run's entries) — determinism comparisons must either
+  // disable telemetry or key on per-run output, see DESIGN.md §15.
+  if (options_.verify_signatures) {
+    const crypto::SigCacheStats now = crypto::SigCache::instance().stats();
+    registry.gauge("crypto.sigcache_hits")
+        .set(static_cast<double>(now.hits - sigcache_baseline_.hits));
+    registry.gauge("crypto.sigcache_misses")
+        .set(static_cast<double>(now.misses - sigcache_baseline_.misses));
+    registry.gauge("crypto.sigcache_entries").set(static_cast<double>(now.entries));
   }
 }
 

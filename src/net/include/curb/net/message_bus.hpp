@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "curb/net/link_model.hpp"
+#include "curb/net/shared_payload.hpp"
 #include "curb/net/topology.hpp"
 #include "curb/obs/observatory.hpp"
 #include "curb/prof/profiler.hpp"
@@ -18,14 +19,20 @@
 
 namespace curb::net {
 
-/// What a fault hook did to one message. The hook may additionally mutate
-/// the payload in place (byte corruption) before delivery is scheduled.
+/// What a fault hook did to one message. Payload corruption is expressed as
+/// a closure rather than in-place mutation: the bus shares one immutable
+/// buffer across all scheduled deliveries and applies `corrupt` through its
+/// copy-on-write path only when a fault actually fires.
+template <typename Payload>
 struct BusFaultAction {
   bool drop = false;
   sim::SimTime extra_delay = sim::SimTime::zero();
   /// Extra deliveries of the same payload, offset from the original
   /// delivery time (message duplication).
   std::vector<sim::SimTime> duplicates;
+  /// When set, applied once to a private copy of the payload before any
+  /// delivery (original or duplicate) is scheduled.
+  std::function<void(Payload&)> corrupt;
 };
 
 /// Per-category message accounting. Theorem 1 in the paper bounds the
@@ -147,10 +154,10 @@ class MessageBus {
   using Interceptor =
       std::function<std::optional<sim::SimTime>(NodeId from, NodeId to, const Payload&)>;
   /// Fault-injection hook (curb::fault): decides drop / extra delay /
-  /// duplication and may corrupt the payload in place. Runs after the
-  /// interceptor, on every message that survived it.
-  using FaultHook = std::function<BusFaultAction(NodeId from, NodeId to, Payload& payload,
-                                                 const std::string& category)>;
+  /// duplication and may request payload corruption via the returned
+  /// closure. Runs after the interceptor, on every message that survived it.
+  using FaultHook = std::function<BusFaultAction<Payload>(
+      NodeId from, NodeId to, const Payload& payload, const std::string& category)>;
 
   MessageBus(sim::Simulator& sim, const Topology& topo, LinkModel model = {})
       : sim_{sim}, topo_{topo}, model_{model}, handlers_(topo.node_count()) {}
@@ -178,62 +185,22 @@ class MessageBus {
 
   /// Send a payload; `category` feeds message accounting, `bytes` the
   /// transmission-delay term. Self-sends are delivered with only the
-  /// overhead delay (no propagation).
+  /// overhead delay (no propagation). The payload is moved into one shared
+  /// immutable buffer; the scheduled delivery (and any fault-injected
+  /// duplicates) hold refcounted handles, never copies.
   void send(NodeId from, NodeId to, Payload payload, std::size_t bytes,
             const std::string& category) {
-    const prof::Scope scope{"bus.send"};
-    stats_.record(category, bytes);
-    sim::SimTime delay = model_.per_message_overhead + model_.transmission_delay(bytes);
-    if (from != to) {
-      const double km = topo_.distance_km(from, to);
-      if (km == Topology::kUnreachable) {
-        if (obs_ != nullptr) instruments(category).dropped_partition->inc();
-        return;  // partitioned: message lost
-      }
-      delay += model_.propagation_delay(km);
-    }
-    if (interceptor_) {
-      const auto extra = interceptor_(from, to, payload);
-      if (!extra) {
-        if (obs_ != nullptr) instruments(category).dropped_interceptor->inc();
-        return;  // dropped
-      }
-      delay += *extra;
-    }
-    if (fault_hook_) {
-      const BusFaultAction action = fault_hook_(from, to, payload, category);
-      if (action.drop) {
-        if (obs_ != nullptr) instruments(category).dropped_fault->inc();
-        return;  // dropped by fault injection
-      }
-      delay += action.extra_delay;
-      for (const sim::SimTime offset : action.duplicates) {
-        MessageStats::Entry* flight = stats_.begin_flight(category, bytes, to.value);
-        sim_.schedule(delay + offset, [this, from, to, payload, flight, bytes] {
-          stats_.end_flight(flight, bytes, to.value);
-          deliver(from, to, payload);
-        });
-      }
-    }
-    if (obs_ != nullptr) {
-      const CategoryInstruments& series = instruments(category);
-      series.messages->inc();
-      series.bytes->inc(bytes);
-      series.delay_us->record(static_cast<double>(delay.as_micros()));
-    }
-    MessageStats::Entry* flight = stats_.begin_flight(category, bytes, to.value);
-    sim_.schedule(delay, [this, from, to, payload = std::move(payload), flight, bytes] {
-      stats_.end_flight(flight, bytes, to.value);
-      deliver(from, to, payload);
-    });
+    send_shared(from, to, PayloadRef<Payload>{std::move(payload)}, bytes, category);
   }
 
-  /// Broadcast to a recipient list (skipping `from` itself).
-  void multicast(NodeId from, const std::vector<NodeId>& to, const Payload& payload,
+  /// Broadcast to a recipient list (skipping `from` itself). The payload is
+  /// buffered once and shared across every destination's delivery.
+  void multicast(NodeId from, const std::vector<NodeId>& to, Payload payload,
                  std::size_t bytes, const std::string& category) {
+    PayloadRef<Payload> shared{std::move(payload)};
     for (const NodeId dest : to) {
       if (dest == from) continue;
-      send(from, dest, payload, bytes, category);
+      send_shared(from, dest, shared, bytes, category);
     }
   }
 
@@ -252,6 +219,58 @@ class MessageBus {
     obs::Counter* dropped_fault = nullptr;
     obs::Histogram* delay_us = nullptr;
   };
+
+  void send_shared(NodeId from, NodeId to, PayloadRef<Payload> payload,
+                   std::size_t bytes, const std::string& category) {
+    const prof::Scope scope{"bus.send"};
+    stats_.record(category, bytes);
+    sim::SimTime delay = model_.per_message_overhead + model_.transmission_delay(bytes);
+    if (from != to) {
+      const double km = topo_.distance_km(from, to);
+      if (km == Topology::kUnreachable) {
+        if (obs_ != nullptr) instruments(category).dropped_partition->inc();
+        return;  // partitioned: message lost
+      }
+      delay += model_.propagation_delay(km);
+    }
+    if (interceptor_) {
+      const auto extra = interceptor_(from, to, payload.get());
+      if (!extra) {
+        if (obs_ != nullptr) instruments(category).dropped_interceptor->inc();
+        return;  // dropped
+      }
+      delay += *extra;
+    }
+    if (fault_hook_) {
+      BusFaultAction<Payload> action = fault_hook_(from, to, payload.get(), category);
+      if (action.drop) {
+        if (obs_ != nullptr) instruments(category).dropped_fault->inc();
+        return;  // dropped by fault injection
+      }
+      delay += action.extra_delay;
+      // Copy-on-write: corruption rebinds this handle to a mutated clone,
+      // so a multicast's other destinations keep the pristine bytes.
+      if (action.corrupt) payload.mutate(action.corrupt);
+      for (const sim::SimTime offset : action.duplicates) {
+        MessageStats::Entry* flight = stats_.begin_flight(category, bytes, to.value);
+        sim_.schedule(delay + offset, [this, from, to, payload, flight, bytes] {
+          stats_.end_flight(flight, bytes, to.value);
+          deliver(from, to, payload.get());
+        });
+      }
+    }
+    if (obs_ != nullptr) {
+      const CategoryInstruments& series = instruments(category);
+      series.messages->inc();
+      series.bytes->inc(bytes);
+      series.delay_us->record(static_cast<double>(delay.as_micros()));
+    }
+    MessageStats::Entry* flight = stats_.begin_flight(category, bytes, to.value);
+    sim_.schedule(delay, [this, from, to, payload = std::move(payload), flight, bytes] {
+      stats_.end_flight(flight, bytes, to.value);
+      deliver(from, to, payload.get());
+    });
+  }
 
   void deliver(NodeId from, NodeId to, const Payload& payload) {
     const prof::Scope scope{"bus.deliver"};

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace curb::net {
+
+/// Refcounted handle to an immutable message payload.
+///
+/// The bus wraps each sent payload exactly once; every scheduled delivery —
+/// the original, fault-injected duplicates, and each multicast destination —
+/// then shares the same buffer through cheap handle copies (one refcount
+/// bump, no allocation). Payloads small enough to be register-passed
+/// (trivially copyable, <= 2 pointers) skip the shared buffer entirely and
+/// live inline in the handle.
+///
+/// Mutation is copy-on-write: `mutate` (used only when a corrupt fault
+/// actually rewrites bytes) clones the buffer and rebinds *this* handle,
+/// leaving every other outstanding handle on the pristine bytes.
+template <typename Payload>
+class PayloadRef {
+ public:
+  static constexpr bool kInline =
+      std::is_trivially_copyable_v<Payload> && sizeof(Payload) <= 2 * sizeof(void*);
+
+  explicit PayloadRef(Payload value) : value_{wrap(std::move(value))} {}
+
+  [[nodiscard]] const Payload& get() const {
+    if constexpr (kInline) {
+      return value_;
+    } else {
+      return *value_;
+    }
+  }
+
+  template <typename Fn>
+  void mutate(Fn&& fn) {
+    if constexpr (kInline) {
+      fn(value_);
+    } else {
+      auto clone = std::make_shared<Payload>(*value_);
+      fn(*clone);
+      value_ = std::move(clone);
+    }
+  }
+
+ private:
+  using Storage =
+      std::conditional_t<kInline, Payload, std::shared_ptr<const Payload>>;
+
+  static Storage wrap(Payload&& value) {
+    if constexpr (kInline) {
+      return std::move(value);
+    } else {
+      return std::make_shared<const Payload>(std::move(value));
+    }
+  }
+
+  Storage value_;
+};
+
+}  // namespace curb::net

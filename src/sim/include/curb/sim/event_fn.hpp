@@ -1,0 +1,198 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace curb::sim {
+
+namespace detail {
+
+/// Callables at or under this size (and alignment of max_align_t) live
+/// inline inside the EventFn itself — no allocation at all. 64 bytes covers
+/// every hot-path lambda in the bus and protocol layers (the bus delivery
+/// capture is 56 bytes).
+inline constexpr std::size_t kEventInlineSize = 64;
+
+/// Callables too big for inline storage but at or under this size draw
+/// fixed-size blocks from a freelist pool instead of the general heap.
+inline constexpr std::size_t kEventBlockSize = 256;
+
+/// Freelist of fixed kEventBlockSize blocks. Blocks are recycled rather than
+/// returned to the heap while the thread lives; the destructor drains the
+/// list so sanitizer runs end clean. Single-threaded by construction
+/// (thread_local), so no locking.
+class EventBlockPool {
+ public:
+  EventBlockPool() = default;
+  EventBlockPool(const EventBlockPool&) = delete;
+  EventBlockPool& operator=(const EventBlockPool&) = delete;
+
+  ~EventBlockPool() {
+    while (head_ != nullptr) {
+      Node* next = head_->next;
+      ::operator delete(static_cast<void*>(head_));
+      head_ = next;
+    }
+  }
+
+  void* acquire() {
+    if (head_ != nullptr) {
+      Node* node = head_;
+      head_ = node->next;
+      --free_;
+      return static_cast<void*>(node);
+    }
+    return ::operator new(kEventBlockSize);
+  }
+
+  void release(void* block) noexcept {
+    Node* node = ::new (block) Node{head_};
+    head_ = node;
+    ++free_;
+  }
+
+  /// Blocks currently parked on the freelist (test introspection).
+  [[nodiscard]] std::size_t free_blocks() const { return free_; }
+
+ private:
+  struct Node {
+    Node* next;
+  };
+  Node* head_ = nullptr;
+  std::size_t free_ = 0;
+};
+
+inline EventBlockPool& event_block_pool() {
+  thread_local EventBlockPool pool;
+  return pool;
+}
+
+}  // namespace detail
+
+/// Move-only type-erased `void()` callable for simulator events.
+///
+/// Unlike std::function it never heap-allocates for callables up to 64
+/// bytes (libstdc++'s std::function spills to the heap past 16), and
+/// callables up to 256 bytes recycle fixed-size blocks through a
+/// thread-local freelist, so steady-state event scheduling performs zero
+/// heap allocations for every capture size the protocol stack produces.
+class EventFn {
+ public:
+  EventFn() noexcept = default;
+  EventFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  EventFn(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using T = std::remove_cvref_t<F>;
+    constexpr bool fits_inline = sizeof(T) <= detail::kEventInlineSize &&
+                                 alignof(T) <= alignof(std::max_align_t) &&
+                                 std::is_nothrow_move_constructible_v<T>;
+    if constexpr (fits_inline) {
+      ::new (static_cast<void*>(storage_)) T(std::forward<F>(fn));
+      ops_ = &kOps<InlineOps<T>>;
+    } else {
+      constexpr bool pooled = sizeof(T) <= detail::kEventBlockSize &&
+                              alignof(T) <= alignof(std::max_align_t);
+      void* block = pooled ? detail::event_block_pool().acquire()
+                           : ::operator new(sizeof(T));
+      T* obj = nullptr;
+      try {
+        obj = ::new (block) T(std::forward<F>(fn));
+      } catch (...) {
+        if constexpr (pooled) {
+          detail::event_block_pool().release(block);
+        } else {
+          ::operator delete(block);
+        }
+        throw;
+      }
+      *reinterpret_cast<T**>(static_cast<void*>(storage_)) = obj;
+      ops_ = &kOps<OutOfLineOps<T, pooled>>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  void operator()() {
+    if (ops_ == nullptr) throw std::bad_function_call{};
+    ops_->invoke(storage_);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    void (*destroy)(void* storage) noexcept;
+    void (*relocate)(void* dst, void* src) noexcept;
+  };
+
+  template <typename T>
+  struct InlineOps {
+    static void invoke(void* storage) { (*static_cast<T*>(storage))(); }
+    static void destroy(void* storage) noexcept { static_cast<T*>(storage)->~T(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) T(std::move(*static_cast<T*>(src)));
+      static_cast<T*>(src)->~T();
+    }
+  };
+
+  template <typename T, bool Pooled>
+  struct OutOfLineOps {
+    static T* slot(void* storage) { return *static_cast<T**>(storage); }
+    static void invoke(void* storage) { (*slot(storage))(); }
+    static void destroy(void* storage) noexcept {
+      T* obj = slot(storage);
+      obj->~T();
+      if constexpr (Pooled) {
+        detail::event_block_pool().release(static_cast<void*>(obj));
+      } else {
+        ::operator delete(static_cast<void*>(obj));
+      }
+    }
+    static void relocate(void* dst, void* src) noexcept {
+      *static_cast<T**>(dst) = slot(src);
+    }
+  };
+
+  template <typename OpsImpl>
+  static constexpr Ops kOps{&OpsImpl::invoke, &OpsImpl::destroy, &OpsImpl::relocate};
+
+  void move_from(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[detail::kEventInlineSize];
+};
+
+}  // namespace curb::sim

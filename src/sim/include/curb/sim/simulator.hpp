@@ -2,14 +2,15 @@
 
 #include <array>
 #include <bit>
+#include <chrono>
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "curb/prof/profiler.hpp"
+#include "curb/sim/event_fn.hpp"
 #include "curb/sim/rng.hpp"
 #include "curb/sim/time.hpp"
 
@@ -35,7 +36,10 @@ class EventHandle {
 /// whole protocol runs bit-for-bit reproducible from a seed.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  /// Move-only small-buffer callable: hot-path captures (<= 64 bytes) are
+  /// stored inline, larger ones recycle pooled blocks — scheduling an event
+  /// does not hit the heap in steady state (see event_fn.hpp).
+  using Callback = EventFn;
 
   explicit Simulator(std::uint64_t seed = 1) : rng_{seed} {}
 
@@ -79,6 +83,7 @@ class Simulator {
   /// min(deadline, last event time). Returns events executed.
   std::size_t run_until(SimTime deadline) {
     const prof::Scope run_scope{"sim.run"};
+    const auto host_start = std::chrono::steady_clock::now();
     std::size_t executed = 0;
     while (!queue_.empty()) {
       const Event& top = queue_.top();
@@ -95,15 +100,18 @@ class Simulator {
       ++executed;
       ++executed_total_;
       if (executed >= max_events_) {
+        accrue_host_time(host_start);
         throw std::runtime_error{"Simulator: event budget exhausted (possible livelock)"};
       }
     }
     if (deadline != SimTime::max() && deadline > now_) now_ = deadline;
+    accrue_host_time(host_start);
     return executed;
   }
 
   /// Execute exactly one event if available. Returns false when idle.
   bool step() {
+    const auto host_start = std::chrono::steady_clock::now();
     while (!queue_.empty()) {
       Event ev{queue_.top().when, queue_.top().id, std::move(queue_.top().fn)};
       queue_.pop();
@@ -115,8 +123,10 @@ class Simulator {
         ev.fn();
       }
       ++executed_total_;
+      accrue_host_time(host_start);
       return true;
     }
+    accrue_host_time(host_start);
     return false;
   }
 
@@ -124,6 +134,12 @@ class Simulator {
   [[nodiscard]] bool idle() const { return queue_.empty(); }
   /// Events executed over the simulator's lifetime (observability export).
   [[nodiscard]] std::uint64_t events_executed() const { return executed_total_; }
+  /// Host (wall-clock) nanoseconds spent inside run_until()/step() over the
+  /// simulator's lifetime. Benches divide events_executed() by this to get
+  /// an events/sec figure that measures the event loop itself rather than
+  /// whatever one-off setup (e.g. the initial CAP solve) surrounds it.
+  /// Host-dependent — never folded into deterministic trace/telemetry output.
+  [[nodiscard]] std::uint64_t host_run_ns() const { return host_run_ns_; }
   /// Largest event-queue depth ever reached (includes cancelled entries).
   [[nodiscard]] std::size_t queue_high_water() const { return queue_high_water_; }
 
@@ -176,6 +192,13 @@ class Simulator {
     return id < cancelled_.size() && cancelled_[id];
   }
 
+  void accrue_host_time(std::chrono::steady_clock::time_point start) {
+    host_run_ns_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+
   void record_sched_lag(SimTime lag) {
     const auto us = static_cast<std::uint64_t>(lag.as_micros());
     ++sched_lag_count_;
@@ -190,6 +213,7 @@ class Simulator {
   std::uint64_t next_id_ = 0;
   std::size_t pending_ = 0;
   std::uint64_t executed_total_ = 0;
+  std::uint64_t host_run_ns_ = 0;
   std::size_t queue_high_water_ = 0;
   std::uint64_t sched_lag_count_ = 0;
   std::uint64_t sched_lag_max_us_ = 0;

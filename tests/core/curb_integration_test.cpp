@@ -7,6 +7,8 @@
 #include <string>
 
 #include "curb/core/simulation.hpp"
+#include "curb/crypto/sha256.hpp"
+#include "curb/crypto/sigcache.hpp"
 #include "curb/net/topology.hpp"
 #include "curb/obs/export.hpp"
 #include "curb/obs/observatory.hpp"
@@ -571,6 +573,92 @@ TEST(CurbSimulationApi, ActiveSwitchSubsetting) {
   EXPECT_LE(m.issued, 8u);  // 4 ingress + at most 4 egress PKT-INs
   sim.set_active_switches(9999);
   EXPECT_EQ(sim.active_switches(), sim.network().num_switches());
+}
+
+/// Restore the process-wide signature cache to its default state no matter
+/// how the test exits — other suites in this binary share the singleton.
+struct SigCacheGuard {
+  ~SigCacheGuard() {
+    crypto::SigCache::instance().set_enabled(true);
+    crypto::SigCache::instance().clear();
+  }
+};
+
+TEST(CurbIntegration, SigCacheOnOffRunsAreByteIdentical) {
+  // The cache only short-circuits a pure function: a hit returns exactly
+  // what re-verification would. Same-seed runs with the cache on vs. off
+  // must therefore be byte-identical in every simulation-visible output —
+  // trace spans, chain state, and round metrics. (Runtime *gauges* differ
+  // by design — sigcache hit/miss counters are host-side telemetry — so the
+  // comparison covers spans, not the metrics registry; see DESIGN.md §15.)
+  const SigCacheGuard guard;
+  auto run_once = [](bool cache_on) {
+    crypto::SigCache::instance().set_enabled(cache_on);
+    crypto::SigCache::instance().clear();
+    CurbOptions opts = test_options();
+    opts.verify_signatures = true;
+    opts.observability = true;
+    opts.controller_capacity = 8.0;
+    opts.max_cs_delay_ms = opt::CapInstance::kNoLimit;
+    CurbSimulation sim{net::random_geo_topology(8, 6, 99), opts};
+    const RoundMetrics m = sim.run_packet_in_round();
+    std::stringstream out;
+    obs::write_spans_jsonl(sim.network().observatory()->tracer, out);
+    out << "\x1e" << m.issued << ',' << m.accepted << ',' << m.messages << ','
+        << m.mean_latency_ms << ',' << m.round_duration_ms;
+    const auto& chain = sim.network().controller(0).blockchain();
+    out << "\x1e" << crypto::to_hex(chain.at(chain.height()).hash());
+    return out.str();
+  };
+  const std::string with_cache = run_once(true);
+  const std::string without_cache = run_once(false);
+  EXPECT_EQ(with_cache, without_cache);
+  // And the cached run actually exercised the cache.
+  crypto::SigCache::instance().set_enabled(true);
+  crypto::SigCache::instance().clear();
+  const auto before = crypto::SigCache::instance().stats();
+  (void)run_once(true);
+  const auto after = crypto::SigCache::instance().stats();
+  EXPECT_GT(after.hits, before.hits);
+  EXPECT_GT(after.misses, before.misses);
+}
+
+TEST(CurbIntegration, CorruptFaultsNeverPoisonTheSignatureCache) {
+  // Corruption flips payload bytes after signing; the corrupted tuple's
+  // cache key (keyed by digest) differs from the pristine one, so a
+  // tampered message can neither reuse a pristine verdict nor poison it.
+  // The run must complete with consistent chains, and every committed
+  // transaction must still verify through the cache afterwards.
+  const SigCacheGuard guard;
+  crypto::SigCache::instance().set_enabled(true);
+  crypto::SigCache::instance().clear();
+  CurbOptions opts = test_options();
+  opts.verify_signatures = true;
+  opts.controller_capacity = 8.0;
+  opts.max_cs_delay_ms = opt::CapInstance::kNoLimit;
+  opts.fault_spec = "corrupt(p=0.3,cat=AGREE)";
+  opts.fault_seed = 7;
+  CurbSimulation sim{net::random_geo_topology(8, 6, 99), opts};
+  const RoundMetrics m = sim.run_packet_in_round();
+  EXPECT_GT(m.issued, 0u);
+  const auto& chain = sim.network().controller(0).blockchain();
+  std::size_t verified = 0;
+  for (std::uint64_t h = 1; h <= chain.height(); ++h) {
+    for (const auto& tx : chain.at(h).transactions()) {
+      ASSERT_TRUE(tx.signature().has_value());
+      EXPECT_TRUE(
+          tx.verify(sim.network().controller(tx.controller_id()).public_key()));
+      ++verified;
+    }
+  }
+  EXPECT_GT(verified, 0u);
+  // All controllers agree on the committed prefix despite the corruption.
+  const std::uint64_t height = chain.height();
+  for (std::uint32_t c = 1; c < sim.network().num_controllers(); ++c) {
+    const auto& other = sim.network().controller(c).blockchain();
+    const std::uint64_t min_height = std::min(height, other.height());
+    EXPECT_EQ(other.at(min_height).hash(), chain.at(min_height).hash());
+  }
 }
 
 }  // namespace

@@ -1,0 +1,133 @@
+#include "curb/crypto/sigcache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "curb/crypto/secp256k1.hpp"
+#include "curb/crypto/sha256.hpp"
+
+namespace curb::crypto {
+namespace {
+
+/// The cache is a process-wide singleton; every test must leave it exactly
+/// as found (enabled, empty, default capacity) or later tests — and the
+/// other suites in this binary — would observe leaked state.
+class SigCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SigCache::instance().set_enabled(true);
+    SigCache::instance().clear();
+  }
+  void TearDown() override {
+    SigCache::instance().set_enabled(true);
+    SigCache::instance().set_capacity(1u << 20);
+    SigCache::instance().clear();
+  }
+
+  static SigCacheStats stats() { return SigCache::instance().stats(); }
+};
+
+TEST_F(SigCacheTest, FirstVerifyMissesSecondHits) {
+  const KeyPair key = KeyPair::from_seed("sigcache-a");
+  const Hash256 digest = Sha256::digest("hello");
+  const Signature sig = key.sign(digest);
+
+  const SigCacheStats before = stats();
+  EXPECT_TRUE(verify_cached(key.public_key(), digest, sig));
+  SigCacheStats after = stats();
+  EXPECT_EQ(after.misses, before.misses + 1);
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.entries, before.entries + 1);
+
+  EXPECT_TRUE(verify_cached(key.public_key(), digest, sig));
+  EXPECT_TRUE(verify_cached(key.public_key(), digest, sig));
+  after = stats();
+  EXPECT_EQ(after.misses, before.misses + 1);
+  EXPECT_EQ(after.hits, before.hits + 2);
+  EXPECT_EQ(after.entries, before.entries + 1);
+}
+
+TEST_F(SigCacheTest, NegativeVerdictsAreCached) {
+  const KeyPair key = KeyPair::from_seed("sigcache-b");
+  const KeyPair other = KeyPair::from_seed("sigcache-c");
+  const Hash256 digest = Sha256::digest("payload");
+  const Signature wrong = other.sign(digest);  // valid sig, wrong key
+
+  const SigCacheStats before = stats();
+  EXPECT_FALSE(verify_cached(key.public_key(), digest, wrong));
+  EXPECT_FALSE(verify_cached(key.public_key(), digest, wrong));
+  const SigCacheStats after = stats();
+  EXPECT_EQ(after.misses, before.misses + 1);
+  EXPECT_EQ(after.hits, before.hits + 1);  // the replayed bad sig hit
+}
+
+TEST_F(SigCacheTest, DigestKeyingSeparatesTuples) {
+  const KeyPair key = KeyPair::from_seed("sigcache-d");
+  const Hash256 d1 = Sha256::digest("one");
+  const Hash256 d2 = Sha256::digest("two");
+  const Signature s1 = key.sign(d1);
+
+  EXPECT_TRUE(verify_cached(key.public_key(), d1, s1));
+  const SigCacheStats mid = stats();
+  // Same signature against a different digest is a different tuple: it must
+  // miss (and verify false), never reuse the positive verdict. This is the
+  // corrupt-fault guarantee — corrupted bytes imply a new digest, so a
+  // tampered payload can never hit the pristine entry.
+  EXPECT_FALSE(verify_cached(key.public_key(), d2, s1));
+  const SigCacheStats after = stats();
+  EXPECT_EQ(after.misses, mid.misses + 1);
+  EXPECT_EQ(after.hits, mid.hits);
+}
+
+TEST_F(SigCacheTest, CapacityTriggersWholesaleClear) {
+  SigCache::instance().set_capacity(2);
+  const KeyPair key = KeyPair::from_seed("sigcache-e");
+  const SigCacheStats before = stats();
+  for (int i = 0; i < 3; ++i) {
+    const Hash256 digest = Sha256::digest("entry-" + std::to_string(i));
+    EXPECT_TRUE(verify_cached(key.public_key(), digest, key.sign(digest)));
+  }
+  const SigCacheStats after = stats();
+  EXPECT_EQ(after.misses, before.misses + 3);
+  EXPECT_EQ(after.evictions, before.evictions + 1);
+  // The third insert cleared the two prior entries first.
+  EXPECT_EQ(after.entries, 1u);
+}
+
+TEST_F(SigCacheTest, DisabledFallsThroughWithoutCaching) {
+  SigCache::instance().set_enabled(false);
+  EXPECT_FALSE(SigCache::instance().enabled());
+  const KeyPair key = KeyPair::from_seed("sigcache-f");
+  const Hash256 digest = Sha256::digest("off");
+  const Signature sig = key.sign(digest);
+
+  const SigCacheStats before = stats();
+  EXPECT_TRUE(verify_cached(key.public_key(), digest, sig));
+  EXPECT_TRUE(verify_cached(key.public_key(), digest, sig));
+  const SigCacheStats after = stats();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.entries, before.entries);
+}
+
+TEST_F(SigCacheTest, ClearDropsEntriesKeepsCounters) {
+  const KeyPair key = KeyPair::from_seed("sigcache-g");
+  const Hash256 digest = Sha256::digest("clear");
+  const Signature sig = key.sign(digest);
+  EXPECT_TRUE(verify_cached(key.public_key(), digest, sig));
+  const SigCacheStats before = stats();
+  EXPECT_GE(before.entries, 1u);
+
+  SigCache::instance().clear();
+  const SigCacheStats cleared = stats();
+  EXPECT_EQ(cleared.entries, 0u);
+  EXPECT_EQ(cleared.misses, before.misses);  // counters accumulate
+
+  // Re-verifying after clear is a miss again, with the same verdict.
+  EXPECT_TRUE(verify_cached(key.public_key(), digest, sig));
+  EXPECT_EQ(stats().misses, before.misses + 1);
+}
+
+}  // namespace
+}  // namespace curb::crypto

@@ -1,0 +1,194 @@
+// Allocation-count regression tests for the shared-payload bus fast path.
+//
+// This binary runs under CURB_MEM_ACCOUNT=1 (see tests/CMakeLists.txt): the
+// curb::obs::res accountant interposes operator new/delete process-wide, so
+// obs::res::snapshot().total.allocs counts every heap allocation. Each test
+// warms the bus (stats map nodes, simulator queue capacity, event-block
+// pool), then measures the allocation delta of the operation under test.
+// No gtest macros run inside a measured region — assertions come after.
+
+#include "curb/net/message_bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "curb/net/topology.hpp"
+#include "curb/obs/res/account.hpp"
+#include "curb/sim/simulator.hpp"
+
+namespace curb::net {
+namespace {
+
+using namespace curb::sim::literals;
+
+struct Fixture {
+  Fixture() : bus{sim, topo} {
+    a = topo.add_node("a", NodeKind::kController, {0, 0});
+    b = topo.add_node("b", NodeKind::kController, {0, 0});
+    c = topo.add_node("c", NodeKind::kController, {0, 0});
+    d = topo.add_node("d", NodeKind::kController, {0, 0});
+    e = topo.add_node("e", NodeKind::kController, {0, 0});
+    f = topo.add_node("f", NodeKind::kController, {0, 0});
+    g = topo.add_node("g", NodeKind::kController, {0, 0});
+    topo.add_link(a, b, 1.0);
+    topo.add_link(b, c, 1.0);
+    topo.add_link(c, d, 1.0);
+    topo.add_link(d, e, 1.0);
+    topo.add_link(e, f, 1.0);
+    topo.add_link(f, g, 1.0);
+    for (const NodeId n : {a, b, c, d, e, f, g}) {
+      bus.attach(n, [this](NodeId, const std::string&) { ++delivered; });
+    }
+  }
+
+  /// Populate every lazily-built structure the measured path touches:
+  /// the per-category stats map node, the per-destination pending-inbox
+  /// vector, the simulator's queue capacity, and the event-block pool.
+  void warm(const std::string& category) {
+    for (int i = 0; i < 32; ++i) {
+      bus.send(a, g, "warm", 16, category);
+      bus.multicast(a, {a, b, c, d, e, f, g}, "warm", 16, category);
+    }
+    sim.run();
+  }
+
+  [[nodiscard]] static std::uint64_t allocs() {
+    return obs::res::snapshot().total.allocs;
+  }
+
+  sim::Simulator sim;
+  Topology topo;
+  MessageBus<std::string> bus;
+  NodeId a, b, c, d, e, f, g;
+  int delivered = 0;
+};
+
+#define SKIP_UNLESS_ACCOUNTING()                                         \
+  if (!obs::res::enabled()) {                                            \
+    GTEST_SKIP() << "CURB_MEM_ACCOUNT latch is off; run via ctest which" \
+                    " sets it for this binary";                          \
+  }
+
+// Tentpole/satellite 1: one warmed send costs exactly one allocation —
+// the shared immutable payload buffer. The delivery lambda captures a
+// refcounted handle inline in the event slot; no payload copy, no event
+// heap block, no stats-map node.
+TEST(BusAlloc, WarmedSendAllocatesExactlyOnePayloadBuffer) {
+  SKIP_UNLESS_ACCOUNTING();
+  Fixture fx;
+  fx.warm("alloc-test");
+
+  const std::uint64_t before = Fixture::allocs();
+  fx.bus.send(fx.a, fx.g, "ping", 16, "alloc-test");
+  const std::uint64_t after_one = Fixture::allocs();
+  fx.bus.send(fx.a, fx.g, "pong", 16, "alloc-test");
+  const std::uint64_t after_two = Fixture::allocs();
+
+  EXPECT_EQ(after_one - before, 1u);
+  EXPECT_EQ(after_two - after_one, 1u);
+  fx.sim.run();
+  EXPECT_GT(fx.delivered, 0);
+}
+
+// Satellite 2: a multicast buffers the payload once, shared across every
+// destination. The allocation delta is one buffer regardless of fan-out.
+TEST(BusAlloc, MulticastAllocatesOneBufferRegardlessOfFanout) {
+  SKIP_UNLESS_ACCOUNTING();
+  Fixture fx;
+  fx.warm("alloc-test");
+  const std::vector<NodeId> three{fx.a, fx.b, fx.c};
+  const std::vector<NodeId> six{fx.a, fx.b, fx.c, fx.d, fx.e, fx.f, fx.g};
+
+  const std::uint64_t before = Fixture::allocs();
+  fx.bus.multicast(fx.a, three, "ping", 16, "alloc-test");
+  const std::uint64_t after_three = Fixture::allocs();
+  fx.bus.multicast(fx.a, six, "ping", 16, "alloc-test");
+  const std::uint64_t after_six = Fixture::allocs();
+
+  EXPECT_EQ(after_three - before, 1u);
+  EXPECT_EQ(after_six - after_three, 1u);
+  fx.sim.run();
+}
+
+// Satellite 1: fault-injected duplicate deliveries share the same buffer as
+// the original. The per-send delta with two duplicates is independent of
+// payload size: a large payload is moved into the shared buffer, never
+// copied per duplicate. (The one extra allocation vs. a plain send is the
+// BusFaultAction::duplicates vector built by the hook itself.)
+TEST(BusAlloc, DuplicateDeliveryDeltaIndependentOfPayloadSize) {
+  SKIP_UNLESS_ACCOUNTING();
+  Fixture fx;
+  fx.bus.set_fault_hook([](NodeId, NodeId, const std::string&,
+                           const std::string&) {
+    BusFaultAction<std::string> action;
+    action.duplicates = {1_ms, 2_ms};
+    return action;
+  });
+  fx.warm("alloc-test");
+  fx.delivered = 0;
+
+  // Pre-build payloads outside the measured region; send() moves them.
+  std::string small = "ping";
+  std::string large(1024, 'x');
+  const std::uint64_t large_capacity_hint = large.capacity();
+
+  const std::uint64_t before = Fixture::allocs();
+  fx.bus.send(fx.a, fx.g, std::move(small), 16, "alloc-test");
+  const std::uint64_t after_small = Fixture::allocs();
+  fx.bus.send(fx.a, fx.g, std::move(large), 1024, "alloc-test");
+  const std::uint64_t after_large = Fixture::allocs();
+
+  const std::uint64_t small_delta = after_small - before;
+  const std::uint64_t large_delta = after_large - after_small;
+  EXPECT_EQ(small_delta, large_delta)
+      << "per-send allocation cost must not scale with payload size "
+         "(1 KiB payload, capacity " << large_capacity_hint << ")";
+  fx.sim.run();
+  EXPECT_EQ(fx.delivered, 6);  // 2 sends x (1 original + 2 duplicates)
+}
+
+// Tentpole (b)+(a): COW isolation under corruption. Not an allocation test,
+// but it lives here because it exercises the same shared-buffer machinery:
+// a corrupt fault on one destination of a multicast must rebind only that
+// destination's handle, leaving the other destinations' shared bytes
+// pristine.
+TEST(BusAlloc, CorruptFaultLeavesOtherMulticastDestinationsPristine) {
+  Fixture fx;
+  std::string got_b;
+  std::string got_c;
+  fx.bus.attach(fx.b, [&](NodeId, const std::string& msg) { got_b = msg; });
+  fx.bus.attach(fx.c, [&](NodeId, const std::string& msg) { got_c = msg; });
+  fx.bus.set_fault_hook([&](NodeId, NodeId to, const std::string&,
+                            const std::string&) {
+    BusFaultAction<std::string> action;
+    if (to == fx.b) {
+      action.corrupt = [](std::string& payload) { payload = "corrupted"; };
+    }
+    return action;
+  });
+  fx.bus.multicast(fx.a, {fx.b, fx.c}, "pristine", 16, "cow-test");
+  fx.sim.run();
+  EXPECT_EQ(got_b, "corrupted");
+  EXPECT_EQ(got_c, "pristine");
+}
+
+// The shared buffer really is shared: every destination's handler observes
+// the same payload object address.
+TEST(BusAlloc, MulticastDestinationsObserveSameBufferAddress) {
+  Fixture fx;
+  std::vector<const std::string*> seen;
+  for (const NodeId n : {fx.b, fx.c, fx.d}) {
+    fx.bus.attach(n, [&](NodeId, const std::string& msg) { seen.push_back(&msg); });
+  }
+  fx.bus.multicast(fx.a, {fx.b, fx.c, fx.d}, "shared-bytes", 16, "cow-test");
+  fx.sim.run();
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], seen[1]);
+  EXPECT_EQ(seen[1], seen[2]);
+}
+
+}  // namespace
+}  // namespace curb::net

@@ -1,0 +1,154 @@
+#include "curb/sim/event_fn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "curb/sim/simulator.hpp"
+#include "curb/sim/time.hpp"
+
+namespace curb::sim {
+namespace {
+
+TEST(EventFn, InvokesSmallCallable) {
+  int calls = 0;
+  EventFn fn{[&calls] { ++calls; }};
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(EventFn, EmptyThrowsBadFunctionCall) {
+  EventFn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  EXPECT_THROW(fn(), std::bad_function_call);
+}
+
+TEST(EventFn, MoveTransfersCallableAndEmptiesSource) {
+  int calls = 0;
+  EventFn a{[&calls] { ++calls; }};
+  EventFn b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a));
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+
+  EventFn c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(EventFn, MoveOnlyCapturesWork) {
+  auto owned = std::make_unique<int>(41);
+  EventFn fn{[owned = std::move(owned)] { ++*owned; }};
+  fn();  // no crash; unique_ptr lived through the type-erasure move
+}
+
+TEST(EventFn, DestructorRunsCaptureDestructors) {
+  auto token = std::make_shared<int>(7);
+  {
+    EventFn fn{[token] { (void)*token; }};
+    EXPECT_EQ(token.use_count(), 2);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+// A capture too large for the 64-byte inline buffer but within the 256-byte
+// pooled-block class.
+struct BigCapture {
+  std::array<unsigned char, 128> blob{};
+  int* counter = nullptr;
+  void operator()() const { ++*counter; }
+};
+
+TEST(EventFn, PooledCallablesRecycleBlocks) {
+  auto& pool = detail::event_block_pool();
+  int calls = 0;
+  BigCapture big;
+  big.counter = &calls;
+  static_assert(sizeof(BigCapture) > detail::kEventInlineSize);
+  static_assert(sizeof(BigCapture) <= detail::kEventBlockSize);
+
+  {
+    EventFn fn{big};
+    fn();
+  }
+  const std::size_t free_after_first = pool.free_blocks();
+  EXPECT_GE(free_after_first, 1u);  // destroyed callable parked its block
+
+  {
+    EventFn fn{big};  // must reuse the parked block, not allocate
+    EXPECT_EQ(pool.free_blocks(), free_after_first - 1);
+    fn();
+  }
+  EXPECT_EQ(pool.free_blocks(), free_after_first);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(EventFn, PooledMoveCarriesBlockWithoutPoolTraffic) {
+  auto& pool = detail::event_block_pool();
+  int calls = 0;
+  BigCapture big;
+  big.counter = &calls;
+  EventFn a{big};
+  const std::size_t free_before = pool.free_blocks();
+  EventFn b{std::move(a)};  // pointer relocation: no release, no acquire
+  EXPECT_EQ(pool.free_blocks(), free_before);
+  b();
+  EXPECT_EQ(calls, 1);
+}
+
+// Beyond the pooled class: plain heap, still correct.
+struct HugeCapture {
+  std::array<unsigned char, 512> blob{};
+  int* counter = nullptr;
+  void operator()() const { ++*counter; }
+};
+
+TEST(EventFn, OversizedCallablesStillWork) {
+  static_assert(sizeof(HugeCapture) > detail::kEventBlockSize);
+  int calls = 0;
+  HugeCapture huge;
+  huge.counter = &calls;
+  EventFn fn{huge};
+  fn();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(EventFn, SimulatorSchedulesEverySizeClass) {
+  Simulator sim;
+  int calls = 0;
+  BigCapture big;
+  big.counter = &calls;
+  HugeCapture huge;
+  huge.counter = &calls;
+  sim.schedule(SimTime::millis(1), [&calls] { ++calls; });
+  sim.schedule(SimTime::millis(2), big);
+  sim.schedule(SimTime::millis(3), huge);
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Simulator, AccumulatesHostRunTime) {
+  Simulator sim;
+  EXPECT_EQ(sim.host_run_ns(), 0u);
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule(SimTime::millis(i), [] {});
+  }
+  sim.run();
+  EXPECT_GT(sim.host_run_ns(), 0u);
+  const auto after_run = sim.host_run_ns();
+  sim.schedule(SimTime::millis(200), [] {});
+  sim.step();
+  EXPECT_GT(sim.host_run_ns(), after_run);
+}
+
+}  // namespace
+}  // namespace curb::sim
