@@ -197,10 +197,14 @@ inline core::CurbOptions paper_options() {
 /// stats and the per-phase breakdown from curb-trace analysis.
 class BenchResults {
  public:
+  /// `extra_json` is an optional raw JSON fragment spliced into the entry
+  /// verbatim (e.g. ",\"msg_complexity\":{...}"); it must start with a comma
+  /// and contain complete key:value members.
   static void add(const std::string& bench,
                   const std::vector<std::pair<std::string, std::string>>& params,
                   const std::vector<std::pair<std::string, double>>& metrics,
-                  core::CurbNetwork* network = nullptr) {
+                  core::CurbNetwork* network = nullptr,
+                  const std::string& extra_json = "") {
     std::ostringstream entry;
     entry << "{\"bench\":\"" << obs::json_escape(bench) << "\",\"params\":{";
     for (std::size_t i = 0; i < params.size(); ++i) {
@@ -216,6 +220,7 @@ class BenchResults {
       entry << "\"" << obs::json_escape(metrics[i].first) << "\":" << value;
     }
     entry << "}";
+    if (!extra_json.empty()) entry << extra_json;
     append_host_section(entry, network);
     append_memory_section(entry, network);
     if (network != nullptr && network->observatory() != nullptr) {
@@ -421,6 +426,26 @@ inline void export_obs_from_env(core::CurbNetwork& network) {
       std::ostringstream text;
       slo->write_report_text(text);
       std::fputs(text.str().c_str(), stderr);
+    }
+  }
+  if (const obs::net::LinkStats* links = network.link_stats(); links != nullptr) {
+    const obs::net::NodeNameFn names = network.link_node_names();
+    obs::net::LinkReportOptions report;
+    report.bandwidth_bps = network.options().link_model.bandwidth_bps;
+    report.elapsed_s = network.simulator().now().as_seconds_f();
+    if (const auto path = core::env_get("CURB_LINK_MATRIX")) {
+      (void)obs::net::export_link_matrix_json(*links, names, report, *path);
+    }
+    if (const auto path = core::env_get("CURB_LINK_CSV")) {
+      (void)obs::net::export_link_matrix_csv(*links, names, report, *path);
+    }
+    if (const auto path = core::env_get("CURB_LINK_DOT")) {
+      (void)obs::net::export_link_dot(*links, names, report, *path);
+    }
+  }
+  if (obs::net::MsgLedger* ledger = network.msg_ledger(); ledger != nullptr) {
+    if (const auto path = core::env_get("CURB_LEDGER_OUT")) {
+      (void)obs::net::export_ledger_jsonl(*ledger, *path);
     }
   }
   obs::Observatory* obsy = network.observatory();

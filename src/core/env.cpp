@@ -27,6 +27,12 @@ const std::vector<EnvVar>& curb_env_vars() {
       {"CURB_TRACE_JSONL", "path", "write the span stream as JSONL"},
       {"CURB_METRICS_OUT", "path", "write a metrics snapshot as JSON"},
       {"CURB_METRICS_CSV", "path", "write a metrics snapshot as CSV"},
+      {"CURB_LINK_MATRIX", "path", "write the per-link telemetry matrix as JSON"},
+      {"CURB_LINK_CSV", "path", "write the per-link telemetry matrix as CSV"},
+      {"CURB_LINK_DOT", "path", "write a Graphviz heatmap of per-link bytes"},
+      {"CURB_LEDGER_OUT", "path",
+       "write the message-complexity ledger as JSONL (wire msgs per "
+       "transaction join key; enables the ledger)"},
       {"CURB_BENCH_OUT", "path",
        "consolidated bench results JSON (default BENCH_results.json; empty "
        "disables)"},
@@ -57,7 +63,10 @@ bool env_observability_requested() {
          env_get("CURB_BENCH_OUT").has_value() ||
          env_get("CURB_TS_OUT").has_value() ||
          env_get("CURB_TS_WINDOW").has_value() ||
-         env_get("CURB_SLO").has_value();
+         env_get("CURB_SLO").has_value() ||
+         env_get("CURB_LINK_MATRIX").has_value() ||
+         env_get("CURB_LINK_CSV").has_value() ||
+         env_get("CURB_LINK_DOT").has_value();
 }
 
 namespace {
@@ -136,6 +145,9 @@ bool apply_env_to_options(CurbOptions& opts, std::string* error) {
     }
     opts.slo_rules = *rules;
   }
+  // The ledger env var both names the output file (read by the bench
+  // harness / curb-sim) and switches the ledger on.
+  if (env_get("CURB_LEDGER_OUT").has_value()) opts.msg_ledger = true;
   // CURB_TS_OUT without a width still wants telemetry: default the window.
   if (!opts.ts_out.empty() && opts.ts_window <= sim::SimTime::zero()) {
     opts.ts_window = sim::SimTime::millis(100);

@@ -85,6 +85,11 @@ using CurbMessage =
 [[nodiscard]] std::size_t wire_size(const CurbMessage& msg);
 /// Message-accounting category ("PKT-IN", "intra-pbft", "AGREE", ...).
 [[nodiscard]] std::string category_of(const CurbMessage& msg);
+/// Ledger join key for the message-complexity auditor: 8-byte payload-digest
+/// hex for consensus traffic (matches the `digest` attr on traced spans),
+/// "switch:request" for request/reply traffic (matches `txns` attr entries),
+/// empty for traffic with no transaction identity (GROUP-UPDATE, DATA).
+[[nodiscard]] std::string digest_of(const CurbMessage& msg);
 
 /// Flip bytes in the message's integrity-relevant content (curb::fault
 /// corrupt clauses): payload/config/tx-list bytes, PBFT digests, group

@@ -2,8 +2,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "curb/core/assignment_state.hpp"
@@ -15,6 +17,9 @@
 #include "curb/fault/injector.hpp"
 #include "curb/net/message_bus.hpp"
 #include "curb/net/topology.hpp"
+#include "curb/obs/net/complexity.hpp"
+#include "curb/obs/net/link_stats.hpp"
+#include "curb/obs/net/report.hpp"
 #include "curb/obs/observatory.hpp"
 #include "curb/obs/slo.hpp"
 #include "curb/obs/timeseries.hpp"
@@ -54,6 +59,19 @@ class CurbNetwork {
   /// and flush/close the JSONL stream. Idempotent; destruction also
   /// flushes, so aborted runs never leave a truncated telemetry file.
   void finalize_telemetry();
+
+  /// Per-link telemetry; nullptr unless options.link_telemetry (implied by
+  /// observability). Counts every accounted bus send per (src,dst) pair —
+  /// per-link msgs sum exactly to bus().stats().total_messages().
+  [[nodiscard]] obs::net::LinkStats* link_stats() { return link_stats_.get(); }
+  [[nodiscard]] const obs::net::LinkStats* link_stats() const {
+    return link_stats_.get();
+  }
+  /// Message-complexity ledger; nullptr unless options.msg_ledger. Wire
+  /// counts (accounted sends + fault duplicates) per (category, join key).
+  [[nodiscard]] obs::net::MsgLedger* msg_ledger() { return ledger_.get(); }
+  /// Topology-name lookup for the link exports (matrix/CSV/DOT).
+  [[nodiscard]] obs::net::NodeNameFn link_node_names() const;
 
   /// Fault injector; nullptr unless options.fault_spec is non-empty.
   [[nodiscard]] fault::FaultInjector* fault_injector() { return fault_injector_.get(); }
@@ -135,6 +153,16 @@ class CurbNetwork {
   /// Highest group count ever published to the load gauges; lets adoption
   /// zero the gauges of groups dissolved by a reassignment.
   std::size_t published_groups_ = 0;
+  std::unique_ptr<obs::net::LinkStats> link_stats_;
+  std::unique_ptr<obs::net::MsgLedger> ledger_;
+  /// Interval state for the net.link_util gauges: byte counts and virtual
+  /// time at the previous snapshot, so each sample publishes the utilization
+  /// of the window since the last snapshot (not a lifetime average).
+  std::map<obs::net::LinkKey, std::uint64_t> link_prev_bytes_;
+  double link_prev_time_s_ = 0.0;
+  /// Link labels ever published to the top-K utilization gauges; lets a
+  /// snapshot zero links that dropped out of the top K.
+  std::set<std::string> published_links_;
   std::unique_ptr<fault::FaultInjector> fault_injector_;
   std::unique_ptr<opt::CapSolver> cap_solver_;
   /// Process-wide SigCache counters at construction; runtime gauges export

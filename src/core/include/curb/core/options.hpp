@@ -110,6 +110,19 @@ struct CurbOptions {
   /// check on each hot path.
   bool observability = false;
 
+  /// Per-link telemetry (curb::obs::net::LinkStats): every accounted bus
+  /// send also increments per-(src,dst) counters, exportable as a link
+  /// matrix / DOT heatmap and surfaced as net.link_util gauges. Implied by
+  /// `observability`; set directly to collect link counters without the
+  /// full observatory. Pure counting — same-seed runs stay byte-identical.
+  bool link_telemetry = false;
+
+  /// Message-complexity ledger (curb::obs::net::MsgLedger): attribute every
+  /// accounted send to its transaction join key (payload-digest hex for
+  /// consensus traffic, "switch:request" for PKT-IN/REPLY). Off by default —
+  /// keying consensus traffic hashes each AGREE/FINAL-AGREE payload once.
+  bool msg_ledger = false;
+
   /// Windowed time-series telemetry (curb::obs::ts): zero disables the
   /// collector; a nonzero width makes the network sample the metrics
   /// registry every `ts_window` of virtual time into per-window deltas

@@ -86,7 +86,24 @@ class CurbSimulation {
   [[nodiscard]] std::uint64_t chain_height() const;
 
  private:
-  RoundMetrics finish_round(sim::SimTime round_start, std::uint64_t messages_before);
+  /// Bus/chain state captured before a round issues its requests, so
+  /// finish_round can compute per-round deltas (messages, per-category wire
+  /// counts, committed blocks) for metrics and the round_complexity instant.
+  struct RoundStart {
+    sim::SimTime at;
+    std::uint64_t messages_before = 0;
+    std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> categories_before;
+    /// Cumulative fault-duplicate wire counts per category at round start
+    /// (from LinkStats), so dup deltas land in the right category attr.
+    std::map<std::string, std::uint64_t> category_dups_before;
+    std::uint64_t height_before = 0;
+  };
+  [[nodiscard]] RoundStart begin_round() const;
+  RoundMetrics finish_round(const RoundStart& start, const char* kind);
+  /// Emit the per-round `round_complexity` instant (track "net") the
+  /// Theorem 1 auditor consumes; attr contract in DESIGN.md §16.
+  void emit_round_complexity(const RoundStart& start, const char* kind,
+                             const RoundMetrics& metrics);
 
   std::unique_ptr<CurbNetwork> network_;
   std::size_t active_switches_ = 0;

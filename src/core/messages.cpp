@@ -49,6 +49,29 @@ void corrupt_message(CurbMessage& msg, sim::Rng& rng) {
   std::visit(Visitor{rng, flip_in}, msg);
 }
 
+std::string digest_of(const CurbMessage& msg) {
+  struct Visitor {
+    std::string operator()(const sdn::RequestMsg& m) const {
+      return std::to_string(m.switch_id) + ":" + std::to_string(m.request_id);
+    }
+    std::string operator()(const PbftEnvelope& m) const {
+      return crypto::short_hex(m.message.digest, 8);
+    }
+    std::string operator()(const AgreeMsg& m) const {
+      return crypto::short_hex(bft::payload_digest(m.tx_list), 8);
+    }
+    std::string operator()(const FinalAgreeMsg& m) const {
+      return crypto::short_hex(bft::payload_digest(m.block), 8);
+    }
+    std::string operator()(const ReplyMsg& m) const {
+      return std::to_string(m.switch_id) + ":" + std::to_string(m.request_id);
+    }
+    std::string operator()(const GroupUpdateMsg&) const { return {}; }
+    std::string operator()(const DataPacketMsg&) const { return {}; }
+  };
+  return std::visit(Visitor{}, msg);
+}
+
 std::string category_of(const CurbMessage& msg) {
   struct Visitor {
     std::string operator()(const sdn::RequestMsg& m) const {

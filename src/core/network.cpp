@@ -1,7 +1,10 @@
 #include "curb/core/network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "curb/obs/res/account.hpp"
 
@@ -27,6 +30,28 @@ CurbNetwork::CurbNetwork(net::Topology topology, CurbOptions options)
     observatory_ = std::make_unique<obs::Observatory>();
     observatory_->enable(sim_);
     bus_->set_observatory(observatory_.get());
+    options_.link_telemetry = true;
+  }
+  if (options_.link_telemetry) link_stats_ = std::make_unique<obs::net::LinkStats>();
+  if (options_.msg_ledger) ledger_ = std::make_unique<obs::net::MsgLedger>();
+  if (link_stats_ != nullptr || ledger_ != nullptr) {
+    // Pure counting on the accounted-send path: never sends, schedules, or
+    // draws randomness, so same-seed runs stay byte-identical with link
+    // telemetry on.
+    bus_->set_send_observer(
+        [this](const net::MessageBus<CurbMessage>::SendRecord& rec,
+               const CurbMessage& payload, const std::string& category) {
+          if (link_stats_ != nullptr) {
+            link_stats_->record(rec.from.value, rec.to.value, rec.bytes,
+                                rec.duplicates, rec.dropped, category);
+          }
+          if (ledger_ != nullptr) {
+            // Ledger rows carry wire counts: the accounted send plus any
+            // fault-injected duplicate deliveries of it.
+            ledger_->record(category, digest_of(payload), 1 + rec.duplicates,
+                            rec.bytes * (1 + rec.duplicates));
+          }
+        });
   }
   if (options_.ts_window > sim::SimTime::zero()) {
     ts_ = std::make_unique<obs::TsCollector>(
@@ -176,6 +201,13 @@ void CurbNetwork::schedule_node_events() {
   }
 }
 
+obs::net::NodeNameFn CurbNetwork::link_node_names() const {
+  return [this](std::uint32_t idx) {
+    return idx < topology_.node_count() ? topology_.node(net::NodeId{idx}).name
+                                        : std::to_string(idx);
+  };
+}
+
 net::NodeId CurbNetwork::controller_topo_node(std::uint32_t id) const {
   return controller_nodes_.at(id);
 }
@@ -304,6 +336,48 @@ void CurbNetwork::snapshot_runtime_metrics() {
   for (std::size_t node = 0; node < stats.pending_inbox_nodes(); ++node) {
     registry.gauge("net.inbox_pending", {{"node", std::to_string(node)}})
         .set(static_cast<double>(stats.pending_inbox(node)));
+  }
+
+  // Per-link utilization over the window since the previous snapshot,
+  // against the serialization model (delta bytes · 8 / bandwidth / delta t).
+  // Only the K hottest links of the window get labelled gauges, keeping the
+  // series cardinality bounded on big topologies; links that drop out of the
+  // top K are zeroed so stale values never freeze in the registry.
+  if (link_stats_ != nullptr) {
+    const double now_s = sim_.now().as_seconds_f();
+    const double dt = now_s - link_prev_time_s_;
+    if (dt > 0.0) {
+      constexpr std::size_t kTopLinks = 8;
+      const double bandwidth = options_.link_model.bandwidth_bps;
+      std::vector<std::pair<double, std::string>> util;
+      for (const auto& [key, link] : link_stats_->links()) {
+        std::uint64_t& prev = link_prev_bytes_[key];
+        const std::uint64_t delta = link.bytes - prev;
+        prev = link.bytes;
+        if (bandwidth <= 0.0) continue;
+        util.emplace_back(static_cast<double>(delta) * 8.0 / bandwidth / dt,
+                          topology_.node(net::NodeId{key.src}).name + "->" +
+                              topology_.node(net::NodeId{key.dst}).name);
+      }
+      std::stable_sort(util.begin(), util.end(), [](const auto& a, const auto& b) {
+        return a.first > b.first;
+      });
+      registry.gauge("net.links_active")
+          .set(static_cast<double>(link_stats_->links().size()));
+      registry.gauge("net.link_util_max").set(util.empty() ? 0.0 : util.front().first);
+      std::set<std::string> published_now;
+      for (std::size_t i = 0; i < util.size() && i < kTopLinks; ++i) {
+        registry.gauge("net.link_util", {{"link", util[i].second}}).set(util[i].first);
+        published_now.insert(util[i].second);
+      }
+      for (const std::string& label : published_links_) {
+        if (published_now.count(label) == 0) {
+          registry.gauge("net.link_util", {{"link", label}}).set(0.0);
+        }
+      }
+      published_links_.insert(published_now.begin(), published_now.end());
+      link_prev_time_s_ = now_s;
+    }
   }
 
   // Signature-cache effectiveness, exported only when this network actually

@@ -150,6 +150,23 @@ template <typename Payload>
 class MessageBus {
  public:
   using Handler = std::function<void(NodeId from, const Payload&)>;
+  /// One accounted send as the link-telemetry layer sees it. The observer
+  /// fires exactly once per send_shared call — i.e. once per multicast
+  /// destination — mirroring MessageStats::record, so per-link message
+  /// counts sum exactly to the bus totals (conservation invariant).
+  /// `duplicates` counts extra fault-injected wire deliveries of this
+  /// message (MessageStats never re-records those); `dropped` marks sends
+  /// that were accounted but never scheduled (partition / interceptor /
+  /// fault drop).
+  struct SendRecord {
+    NodeId from;
+    NodeId to;
+    std::size_t bytes = 0;
+    std::size_t duplicates = 0;
+    bool dropped = false;
+  };
+  using SendObserver =
+      std::function<void(const SendRecord&, const Payload&, const std::string& category)>;
   /// Returns std::nullopt to drop, or an extra delay to add.
   using Interceptor =
       std::function<std::optional<sim::SimTime>(NodeId from, NodeId to, const Payload&)>;
@@ -173,6 +190,11 @@ class MessageBus {
   void set_interceptor(Interceptor interceptor) { interceptor_ = std::move(interceptor); }
 
   void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
+  /// Attach the per-send observer (nullptr disables). Pure accounting only:
+  /// the observer must not send, schedule, or otherwise perturb the
+  /// simulation, so same-seed runs stay byte-identical with it installed.
+  void set_send_observer(SendObserver observer) { send_observer_ = std::move(observer); }
 
   /// Attach observability (nullptr disables). Per-category delivery-delay
   /// histograms, message/byte counters, and drop counters land in the
@@ -229,6 +251,7 @@ class MessageBus {
       const double km = topo_.distance_km(from, to);
       if (km == Topology::kUnreachable) {
         if (obs_ != nullptr) instruments(category).dropped_partition->inc();
+        observe(from, to, bytes, 0, true, payload, category);
         return;  // partitioned: message lost
       }
       delay += model_.propagation_delay(km);
@@ -237,20 +260,24 @@ class MessageBus {
       const auto extra = interceptor_(from, to, payload.get());
       if (!extra) {
         if (obs_ != nullptr) instruments(category).dropped_interceptor->inc();
+        observe(from, to, bytes, 0, true, payload, category);
         return;  // dropped
       }
       delay += *extra;
     }
+    std::size_t duplicates = 0;
     if (fault_hook_) {
       BusFaultAction<Payload> action = fault_hook_(from, to, payload.get(), category);
       if (action.drop) {
         if (obs_ != nullptr) instruments(category).dropped_fault->inc();
+        observe(from, to, bytes, 0, true, payload, category);
         return;  // dropped by fault injection
       }
       delay += action.extra_delay;
       // Copy-on-write: corruption rebinds this handle to a mutated clone,
       // so a multicast's other destinations keep the pristine bytes.
       if (action.corrupt) payload.mutate(action.corrupt);
+      duplicates = action.duplicates.size();
       for (const sim::SimTime offset : action.duplicates) {
         MessageStats::Entry* flight = stats_.begin_flight(category, bytes, to.value);
         sim_.schedule(delay + offset, [this, from, to, payload, flight, bytes] {
@@ -259,6 +286,7 @@ class MessageBus {
         });
       }
     }
+    observe(from, to, bytes, duplicates, false, payload, category);
     if (obs_ != nullptr) {
       const CategoryInstruments& series = instruments(category);
       series.messages->inc();
@@ -270,6 +298,14 @@ class MessageBus {
       stats_.end_flight(flight, bytes, to.value);
       deliver(from, to, payload.get());
     });
+  }
+
+  void observe(NodeId from, NodeId to, std::size_t bytes, std::size_t duplicates,
+               bool dropped, const PayloadRef<Payload>& payload,
+               const std::string& category) {
+    if (!send_observer_) return;
+    send_observer_(SendRecord{from, to, bytes, duplicates, dropped}, payload.get(),
+                   category);
   }
 
   void deliver(NodeId from, NodeId to, const Payload& payload) {
@@ -301,6 +337,7 @@ class MessageBus {
   std::vector<Handler> handlers_;
   Interceptor interceptor_;
   FaultHook fault_hook_;
+  SendObserver send_observer_;
   MessageStats stats_;
   obs::Observatory* obs_ = nullptr;
   std::map<std::string, CategoryInstruments> instruments_;

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <utility>
 
+#include "curb/obs/net/complexity.hpp"
+
 namespace curb::obs {
 
 namespace {
@@ -393,6 +395,58 @@ void TraceAnalysis::detect_anomalies() {
                            {txn.root_span},
                            txn.start_us});
     }
+  }
+
+  // Theorem 1 message-complexity audit: each round_complexity instant
+  // carries the round's measured wire counts and the deployment shape
+  // (c, k, N, R, B); the bound is recomputed here from the shape — never
+  // trusted from the emitter — and PKT-IN rounds that exceed it are flagged
+  // (duplicate or stacked protocol traffic). Reassignment rounds run the
+  // OP() pipeline the theorem does not model and are reported only.
+  for (const net::RoundComplexity& rc : net::extract_round_complexity(spans_)) {
+    if (!rc.exceeds) continue;
+    // Name what tripped: either a specific phase over its phase bound, or
+    // the control-plane total over the summed bound.
+    struct Phase {
+      const char* name;
+      std::uint64_t net::PhasePrediction::* field;
+    };
+    static constexpr Phase kPhases[] = {
+        {"PKT-IN", &net::PhasePrediction::pkt_in},
+        {"intra-pbft", &net::PhasePrediction::intra_pbft},
+        {"AGREE", &net::PhasePrediction::agree},
+        {"final-pbft", &net::PhasePrediction::final_pbft},
+        {"FINAL-AGREE", &net::PhasePrediction::final_agree},
+        {"REPLY", &net::PhasePrediction::reply},
+    };
+    std::string what;
+    for (const Phase& phase : kPhases) {
+      const std::uint64_t got = rc.phase_measured.*phase.field;
+      const std::uint64_t cap = rc.bound.*phase.field;
+      if (got <= cap) continue;
+      if (!what.empty()) what += ", ";
+      what += std::string{phase.name} + " " + std::to_string(got) + " > " +
+              std::to_string(cap);
+    }
+    if (what.empty()) {
+      what = "total " + std::to_string(rc.control_total) + " > " +
+             std::to_string(rc.bound.total);
+    }
+    findings_.push_back(
+        {"complexity_bound", Finding::Severity::kError,
+         "round " + std::to_string(rc.round) +
+             " exceeds the Theorem 1 analytic bound (" + what + ") for c=" +
+             std::to_string(rc.params.c) + " gmax=" +
+             std::to_string(rc.params.group_bound()) + " k=" +
+             std::to_string(rc.params.k) + " N=" + std::to_string(rc.params.n) +
+             " R=" + std::to_string(rc.params.requests) + " B=" +
+             std::to_string(rc.params.blocks) +
+             (rc.dup_wire > 0
+                  ? " (" + std::to_string(rc.dup_wire) + " duplicate wire deliveries)"
+                  : ""),
+         "net",
+         {rc.span_id},
+         rc.at_us});
   }
 
   // Fault-injection markers (curb::fault records a "fault.<kind>" instant

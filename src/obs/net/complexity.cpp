@@ -1,0 +1,129 @@
+#include "curb/obs/net/complexity.hpp"
+
+#include <cstdlib>
+
+namespace curb::obs::net {
+
+namespace {
+
+const std::string* find_attr(const SpanRecord& s, std::string_view key) {
+  for (const auto& [k, v] : s.attrs) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(s.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+bool attr_u64(const SpanRecord& s, std::string_view key, std::uint64_t& out) {
+  const std::string* v = find_attr(s, key);
+  return v != nullptr && parse_u64(*v, out);
+}
+
+}  // namespace
+
+PhasePrediction analytic_bound(const ComplexityParams& params) {
+  const std::uint64_t c = params.c;
+  const std::uint64_t g = params.group_bound();
+  const std::uint64_t r = params.requests;
+  const std::uint64_t b = params.blocks;
+  const std::uint64_t n = params.n;
+  PhasePrediction p;
+  if (c == 0 || g == 0) return p;
+  // One BFT decision at group size g costs at most 2g(g−1) bus messages:
+  // PBFT pre-prepare (g−1) + prepare (g−1)² + commit g(g−1); HotStuff's
+  // 7(g−1) is below that for every g ≥ 4, so one formula covers both
+  // engines. Request-scaled phases use g (the largest serving-group size);
+  // the final committee is always exactly c members.
+  p.pkt_in = r * g;
+  p.intra_pbft = r * 2 * g * (g - 1);
+  p.agree = r * g * c;
+  p.final_pbft = b * 2 * c * (c - 1);
+  p.final_agree = n > 0 ? b * c * (n - 1) : 0;
+  p.reply = r * g;
+  p.total = p.pkt_in + p.intra_pbft + p.agree + p.final_pbft + p.final_agree + p.reply;
+  return p;
+}
+
+std::uint64_t theorem1_messages(std::uint64_t c, std::uint64_t k, std::uint64_t n) {
+  return k * c * c + c * c + 2 * c * n;
+}
+
+std::vector<RoundComplexity> extract_round_complexity(
+    const std::vector<SpanRecord>& spans) {
+  std::vector<RoundComplexity> rounds;
+  for (const SpanRecord& s : spans) {
+    if (s.name != "round_complexity") continue;
+    RoundComplexity rc;
+    rc.span_id = s.id;
+    rc.at_us = s.start.as_micros();
+    const std::string* kind = find_attr(s, "kind");
+    if (kind == nullptr) continue;
+    rc.kind = *kind;
+    if (const std::string* engine = find_attr(s, "engine")) {
+      rc.params.engine = *engine;
+    }
+    if (!attr_u64(s, "round", rc.round) || !attr_u64(s, "c", rc.params.c) ||
+        !attr_u64(s, "k", rc.params.k) || !attr_u64(s, "n", rc.params.n) ||
+        !attr_u64(s, "requests", rc.params.requests) ||
+        !attr_u64(s, "blocks", rc.params.blocks) ||
+        !attr_u64(s, "total", rc.measured_total)) {
+      continue;
+    }
+    (void)attr_u64(s, "dup", rc.dup_wire);
+    (void)attr_u64(s, "gmax", rc.params.gmax);
+    // Per-category wire counts ride as "m:<category>" attrs.
+    for (const auto& [key, value] : s.attrs) {
+      if (key.rfind("m:", 0) != 0) continue;
+      std::uint64_t count = 0;
+      if (parse_u64(value, count)) rc.measured[key.substr(2)] = count;
+    }
+    const auto category = [&rc](const char* name) -> std::uint64_t {
+      const auto it = rc.measured.find(name);
+      return it == rc.measured.end() ? 0 : it->second;
+    };
+    rc.phase_measured.pkt_in = category("PKT-IN");
+    rc.phase_measured.intra_pbft = category("intra-pbft");
+    rc.phase_measured.agree = category("AGREE");
+    rc.phase_measured.final_pbft = category("final-pbft");
+    rc.phase_measured.final_agree = category("FINAL-AGREE");
+    rc.phase_measured.reply = category("REPLY");
+    rc.phase_measured.total = rc.phase_measured.pkt_in +
+                              rc.phase_measured.intra_pbft +
+                              rc.phase_measured.agree +
+                              rc.phase_measured.final_pbft +
+                              rc.phase_measured.final_agree +
+                              rc.phase_measured.reply;
+    rc.control_total = rc.phase_measured.total;
+    rc.bound = analytic_bound(rc.params);
+    rc.bounded = rc.kind == "pkt_in";
+    // Per-phase first: slack in one phase must not launder excess in
+    // another (a duplicated AGREE flood hides inside the intra-PBFT slack
+    // if only totals are compared).
+    rc.exceeds =
+        rc.bounded && (rc.phase_measured.pkt_in > rc.bound.pkt_in ||
+                       rc.phase_measured.intra_pbft > rc.bound.intra_pbft ||
+                       rc.phase_measured.agree > rc.bound.agree ||
+                       rc.phase_measured.final_pbft > rc.bound.final_pbft ||
+                       rc.phase_measured.final_agree > rc.bound.final_agree ||
+                       rc.phase_measured.reply > rc.bound.reply ||
+                       rc.control_total > rc.bound.total);
+    rounds.push_back(std::move(rc));
+  }
+  return rounds;
+}
+
+void MsgLedger::record(const std::string& category, const std::string& key,
+                       std::uint64_t msgs, std::uint64_t bytes) {
+  Entry& entry = entries_[{category, key}];
+  entry.msgs += msgs;
+  entry.bytes += bytes;
+  total_msgs_ += msgs;
+}
+
+}  // namespace curb::obs::net

@@ -349,9 +349,13 @@ PerfDiffResult perf_diff(const std::vector<BenchEntry>& base,
       const double delta_pct = 100.0 * (cand_value - base_value) / denom;
       // Host and memory sections measure the machine / allocator behaviour of
       // the build that produced the file, not the protocol — they compare
-      // against their own (looser) threshold and never hard-fail.
+      // against their own (looser) threshold and never hard-fail. The
+      // msg_complexity audit is warn-only too: its hard gate is the
+      // within_bound verdict (curb-trace complexity exit code), not a
+      // percentage drift in message counts.
       const bool advisory = metric.rfind("host.", 0) == 0 ||
-                            metric.rfind("memory.", 0) == 0;
+                            metric.rfind("memory.", 0) == 0 ||
+                            metric.rfind("msg_complexity.", 0) == 0;
       const double threshold =
           advisory ? options.host_threshold_pct : options.threshold_pct;
       if (std::abs(delta_pct) <= threshold) continue;

@@ -202,6 +202,71 @@ TEST(MessageBus, ObservatoryCountsTrafficAndDrops) {
   EXPECT_DOUBLE_EQ(delay.min(), 2000.0);
 }
 
+TEST(MessageBus, SendObserverFiresOncePerMulticastDestination) {
+  sim::Simulator sim;
+  Topology topo;
+  const NodeId a = topo.add_node("a", NodeKind::kController, {0, 0});
+  const NodeId b = topo.add_node("b", NodeKind::kController, {0, 0});
+  const NodeId c = topo.add_node("c", NodeKind::kController, {0, 0});
+  topo.add_link(a, b, 10.0);
+  topo.add_link(a, c, 10.0);
+  MessageBus<std::string> bus{sim, topo};
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> seen;
+  bus.set_send_observer([&](const MessageBus<std::string>::SendRecord& rec,
+                            const std::string& payload, const std::string& category) {
+    EXPECT_EQ(payload, "ping");
+    EXPECT_EQ(category, "gossip");
+    EXPECT_EQ(rec.bytes, 10u);
+    EXPECT_FALSE(rec.dropped);
+    seen.emplace_back(rec.from.value, rec.to.value);
+  });
+  // One observation per multicast destination (self skipped), exactly
+  // mirroring MessageStats accounting.
+  bus.multicast(a, {a, b, c}, "ping", 10, "gossip");
+  sim.run();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<std::uint32_t, std::uint32_t>{0, 1}));
+  EXPECT_EQ(seen[1], (std::pair<std::uint32_t, std::uint32_t>{0, 2}));
+  EXPECT_EQ(bus.stats().total_messages(), seen.size());
+}
+
+TEST(MessageBus, SendObserverConservationWithDropsAndDups) {
+  Fixture f;
+  f.make_line();
+  // A third, unreachable node to exercise the partition-drop path.
+  const NodeId c = f.topo.add_node("c", NodeKind::kController, {0, 0});
+
+  f.bus.set_fault_hook([](NodeId, NodeId, const std::string& payload,
+                          const std::string&) {
+    BusFaultAction<std::string> action;
+    if (payload == "dup-me") action.duplicates = {1_ms, 2_ms};
+    if (payload == "drop-me") action.drop = true;
+    return action;
+  });
+
+  std::uint64_t observed = 0, dups = 0, drops = 0;
+  f.bus.set_send_observer([&](const MessageBus<std::string>::SendRecord& rec,
+                              const std::string&, const std::string&) {
+    ++observed;
+    dups += rec.duplicates;
+    if (rec.dropped) ++drops;
+  });
+  f.bus.attach(NodeId{1}, [](NodeId, const std::string&) {});
+
+  f.bus.send(NodeId{0}, NodeId{1}, "dup-me", 8, "AGREE");
+  f.bus.send(NodeId{0}, NodeId{1}, "drop-me", 8, "AGREE");
+  f.bus.send(NodeId{0}, c, "unroutable", 8, "AGREE");  // partition drop
+  f.sim.run();
+
+  // Conservation: the observer saw exactly what MessageStats accounted —
+  // drops included, fault duplicates reported but never re-counted.
+  EXPECT_EQ(observed, f.bus.stats().total_messages());
+  EXPECT_EQ(observed, 3u);
+  EXPECT_EQ(dups, 2u);
+  EXPECT_EQ(drops, 2u);
+}
+
 TEST(MessageBus, UnattachedRecipientIsIgnored) {
   Fixture f;
   f.make_line();

@@ -24,6 +24,14 @@
 //     --metrics-csv FILE            (metrics registry snapshot, CSV)
 //     --phase-report                (per-phase latency breakdown after the run;
 //                                    implies tracing, see curb-trace for more)
+//     --link-matrix FILE            (per-link telemetry matrix, JSON: msgs/
+//                                    bytes/dups/drops/utilization per (src,dst))
+//     --link-csv FILE               (the same matrix as CSV)
+//     --link-dot FILE               (Graphviz heatmap of per-link bytes)
+//     --ledger-out FILE             (message-complexity ledger, JSONL: wire
+//                                    msgs/bytes per (category, transaction
+//                                    join key); join with curb-trace
+//                                    complexity --ledger)
 //     --ts-out FILE                 (windowed telemetry stream, one JSON object
 //                                    per closed window; tail with curb-watch)
 //     --ts-window MS                (telemetry window width in virtual ms;
@@ -106,6 +114,10 @@ struct CliOptions {
   std::string metrics_json_file;
   std::string metrics_csv_file;
   bool phase_report = false;
+  std::string link_matrix_file;
+  std::string link_csv_file;
+  std::string link_dot_file;
+  std::string ledger_out_file;
   std::string ts_out;
   std::optional<double> ts_window_ms;
   std::optional<std::size_t> ts_retention;
@@ -140,6 +152,8 @@ void print_usage(std::FILE* out, const char* argv0) {
                "          [--overhead MS] [--reassign] [--csv]\n"
                "          [--trace FILE] [--trace-jsonl FILE]\n"
                "          [--metrics-out FILE] [--metrics-csv FILE] [--phase-report]\n"
+               "          [--link-matrix FILE] [--link-csv FILE] [--link-dot FILE]\n"
+               "          [--ledger-out FILE]\n"
                "          [--ts-out FILE] [--ts-window MS] [--ts-retention N]\n"
                "          [--slo RULES] [--slo-out FILE]\n"
                "          [--fault SPEC] [--fault-seed S]\n"
@@ -188,6 +202,10 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--metrics-out") opts.metrics_json_file = value();
     else if (arg == "--metrics-csv") opts.metrics_csv_file = value();
     else if (arg == "--phase-report") opts.phase_report = true;
+    else if (arg == "--link-matrix") opts.link_matrix_file = value();
+    else if (arg == "--link-csv") opts.link_csv_file = value();
+    else if (arg == "--link-dot") opts.link_dot_file = value();
+    else if (arg == "--ledger-out") opts.ledger_out_file = value();
     else if (arg == "--ts-out") opts.ts_out = value();
     else if (arg == "--ts-window") opts.ts_window_ms = std::strtod(value(), nullptr);
     else if (arg == "--ts-retention") opts.ts_retention = std::strtoull(value(), nullptr, 10);
@@ -225,6 +243,10 @@ int main(int argc, char** argv) {
   env_default(cli.trace_jsonl_file, "CURB_TRACE_JSONL");
   env_default(cli.metrics_json_file, "CURB_METRICS_OUT");
   env_default(cli.metrics_csv_file, "CURB_METRICS_CSV");
+  env_default(cli.link_matrix_file, "CURB_LINK_MATRIX");
+  env_default(cli.link_csv_file, "CURB_LINK_CSV");
+  env_default(cli.link_dot_file, "CURB_LINK_DOT");
+  env_default(cli.ledger_out_file, "CURB_LEDGER_OUT");
   env_default(cli.slo_out, "CURB_SLO_OUT");
   env_default(cli.prof_file, "CURB_PROF");
   env_default(cli.prof_chrome_file, "CURB_PROF_CHROME");
@@ -265,6 +287,12 @@ int main(int argc, char** argv) {
       curb::sim::SimTime::from_seconds_f(cli.overhead_ms / 1000.0);
   options.reass_always_solve = cli.reassign;
   options.observability = cli.observability();
+  // Link exports only need the counters, not the full observatory.
+  if (!cli.link_matrix_file.empty() || !cli.link_csv_file.empty() ||
+      !cli.link_dot_file.empty()) {
+    options.link_telemetry = true;
+  }
+  if (!cli.ledger_out_file.empty()) options.msg_ledger = true;
   if (!cli.fault_spec.empty()) options.fault_spec = cli.fault_spec;
   if (cli.fault_seed) options.fault_seed = *cli.fault_seed;
   if (!cli.ts_out.empty()) options.ts_out = cli.ts_out;
@@ -358,6 +386,33 @@ int main(int argc, char** argv) {
         slo->write_report_text(text);
         std::fputs(text.str().c_str(), stderr);
       }
+    }
+    if (const curb::obs::net::LinkStats* links = sim.network().link_stats();
+        links != nullptr) {
+      const curb::obs::net::NodeNameFn names = sim.network().link_node_names();
+      curb::obs::net::LinkReportOptions report;
+      report.bandwidth_bps = options.link_model.bandwidth_bps;
+      report.elapsed_s = sim.network().simulator().now().as_seconds_f();
+      if (!cli.link_matrix_file.empty()) {
+        check(curb::obs::net::export_link_matrix_json(*links, names, report,
+                                                      cli.link_matrix_file),
+              cli.link_matrix_file);
+      }
+      if (!cli.link_csv_file.empty()) {
+        check(curb::obs::net::export_link_matrix_csv(*links, names, report,
+                                                     cli.link_csv_file),
+              cli.link_csv_file);
+      }
+      if (!cli.link_dot_file.empty()) {
+        check(curb::obs::net::export_link_dot(*links, names, report,
+                                              cli.link_dot_file),
+              cli.link_dot_file);
+      }
+    }
+    if (const curb::obs::net::MsgLedger* ledger = sim.network().msg_ledger();
+        ledger != nullptr && !cli.ledger_out_file.empty()) {
+      check(curb::obs::net::export_ledger_jsonl(*ledger, cli.ledger_out_file),
+            cli.ledger_out_file);
     }
     curb::obs::Observatory* obsy = sim.network().observatory();
     if (obsy == nullptr) return ok;

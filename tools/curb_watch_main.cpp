@@ -10,6 +10,8 @@
 //     --poll-ms MS    follow poll interval, wall milliseconds (default 50)
 //     --series SUBSTR only render series whose key contains SUBSTR
 //                     (repeatable; default: all)
+//     --links N       after the sparklines, print the N hottest links by
+//                     peak net.link_util gauge (0 = off, default 0)
 //     --width N       sparkline width in windows (default 48)
 //     --report FILE   write the machine-readable breach report JSON
 //     --quiet         no rendering, just evaluate (exit code + breach lines)
@@ -18,6 +20,12 @@
 // trailing --width windows, marks rule thresholds, prints breaches.
 // Follow: prints one line per newly closed window plus breach alerts as
 // they fire, then the final sparkline view.
+//
+// Link telemetry: curb-sim publishes per-link utilization gauges keyed
+// net.link_util{link="SRC->DST"} (top talkers per snapshot) whenever
+// observability is on, so link SLOs are ordinary gauge rules, e.g.
+//   --slo 'gauge(net.link_util{link="SEAT->LOSA"}) < 0.8'
+//   --slo 'gauge(net.link_util_max) < 0.9 over 5'
 //
 // Exit codes (curb/core/exit_codes.hpp): 0 no breach, 1 I/O error, 2 usage,
 // 3 SLO breach (the same code curb-sim's in-process watchdog uses).
@@ -49,6 +57,7 @@ struct CliOptions {
   long idle_ms = 2000;
   long poll_ms = 50;
   std::vector<std::string> series_filters;
+  std::size_t links = 0;
   std::size_t width = 48;
   std::string report_file;
   bool quiet = false;
@@ -57,8 +66,14 @@ struct CliOptions {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--slo RULES] [--follow] [--idle-ms MS] [--poll-ms MS]\n"
-               "          [--series SUBSTR]... [--width N] [--report FILE]\n"
-               "          [--quiet] FILE\n",
+               "          [--series SUBSTR]... [--links N] [--width N]\n"
+               "          [--report FILE] [--quiet] FILE\n"
+               "\n"
+               "--links N prints the N hottest links by peak utilization from\n"
+               "the net.link_util{link=\"SRC->DST\"} gauges curb-sim publishes\n"
+               "when observability is on. Link SLOs are plain gauge rules:\n"
+               "  --slo 'gauge(net.link_util{link=\"SEAT->LOSA\"}) < 0.8'\n"
+               "  --slo 'gauge(net.link_util_max) < 0.9 over 5'\n",
                argv0);
   std::exit(curb::core::kExitUsage);
 }
@@ -76,6 +91,7 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--idle-ms") opts.idle_ms = std::strtol(value(), nullptr, 10);
     else if (arg == "--poll-ms") opts.poll_ms = std::strtol(value(), nullptr, 10);
     else if (arg == "--series") opts.series_filters.emplace_back(value());
+    else if (arg == "--links") opts.links = std::strtoull(value(), nullptr, 10);
     else if (arg == "--width") opts.width = std::strtoull(value(), nullptr, 10);
     else if (arg == "--report") opts.report_file = value();
     else if (arg == "--quiet") opts.quiet = true;
@@ -184,6 +200,52 @@ void render(const std::deque<curb::obs::TsWindow>& windows,
                   pass ? "ok" : "BREACH");
     }
     std::printf("\n");
+  }
+}
+
+/// Top-N hottest links by peak utilization, from the per-link gauges
+/// (net.link_util{link="SRC->DST"}). The gauges are top-talker sampled per
+/// snapshot, so "peak" means the hottest the link ever got while it was
+/// among the top talkers — exactly the saturation question an operator asks.
+void render_links(const std::deque<curb::obs::TsWindow>& windows, std::size_t n) {
+  static const std::string kPrefix = "net.link_util{link=\"";
+  struct LinkRow {
+    std::string link;
+    double peak = 0.0;
+    double last = 0.0;
+    std::uint64_t last_window = 0;
+  };
+  std::map<std::string, LinkRow> links;
+  for (const curb::obs::TsWindow& window : windows) {
+    for (const auto& [key, value] : window.series) {
+      if (key.rfind(kPrefix, 0) != 0) continue;
+      const std::size_t end = key.find('"', kPrefix.size());
+      if (end == std::string::npos) continue;
+      LinkRow& row = links[key.substr(kPrefix.size(), end - kPrefix.size())];
+      row.peak = std::max(row.peak, value.value);
+      row.last = value.value;
+      row.last_window = window.index;
+    }
+  }
+  if (links.empty()) {
+    std::printf("\nhottest links: no net.link_util gauges in this stream\n");
+    return;
+  }
+  std::vector<LinkRow> rows;
+  rows.reserve(links.size());
+  for (auto& [link, row] : links) {
+    row.link = link;
+    rows.push_back(row);
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const LinkRow& a, const LinkRow& b) {
+    return a.peak > b.peak;
+  });
+  std::printf("\nhottest links (top %zu of %zu by peak utilization)\n",
+              std::min(n, rows.size()), rows.size());
+  std::printf("  %-28s%-10s%-10s%s\n", "link", "peak", "last", "last-window");
+  for (std::size_t i = 0; i < rows.size() && i < n; ++i) {
+    std::printf("  %-28s%-10.3f%-10.3f%llu\n", rows[i].link.c_str(), rows[i].peak,
+                rows[i].last, static_cast<unsigned long long>(rows[i].last_window));
   }
 }
 
@@ -308,7 +370,10 @@ int main(int argc, char** argv) {
     return curb::core::kExitFinding;
   }
 
-  if (!cli.quiet) render(windows, rules, cli);
+  if (!cli.quiet) {
+    render(windows, rules, cli);
+    if (cli.links > 0) render_links(windows, cli.links);
+  }
 
   if (!cli.report_file.empty()) {
     std::ofstream out{cli.report_file, std::ios::binary | std::ios::trunc};
